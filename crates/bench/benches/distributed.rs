@@ -1,0 +1,43 @@
+//! Criterion benches of the end-to-end distributed pipeline (wall-clock
+//! simulation cost; CONGEST rounds are reported by the E-binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::generators;
+use mincut::dist::driver::{exact_mincut, ExactConfig};
+use mincut::seq::tree_packing::{PackingConfig, PackingSize};
+
+fn single_tree_config() -> ExactConfig {
+    ExactConfig {
+        packing: PackingConfig {
+            size: PackingSize::Fixed(1),
+            max_trees: 1,
+        },
+        ..Default::default()
+    }
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_pipeline");
+    group.sample_size(10);
+    for side in [6usize, 10] {
+        let g = generators::torus2d(side, side).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("one_tree_iteration", g.node_count()),
+            &g,
+            |b, g| {
+                let cfg = single_tree_config();
+                b.iter(|| exact_mincut(g, &cfg).unwrap().rounds)
+            },
+        );
+    }
+    let planted = generators::clique_pair(10, 3).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("exact_full", planted.graph.node_count()),
+        &planted.graph,
+        |b, g| b.iter(|| exact_mincut(g, &ExactConfig::default()).unwrap().cut.value),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches of Karger's 1-respecting dynamic program (Lemma 5.9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{generators, NodeId};
+use mincut::seq::karger_dp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trees::spanning::{random_spanning_edges, to_rooted};
+
+fn bench_one_respect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_respecting_dp");
+    group.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let base = generators::erdos_renyi_connected(n, 10.0 / n as f64, &mut rng).unwrap();
+        let g = generators::randomize_weights(&base, 1, 8, &mut rng).unwrap();
+        let edges = random_spanning_edges(&g, &mut rng);
+        let tree = to_rooted(&g, &edges, NodeId::new(0)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("euler_lca", n),
+            &(&g, &tree),
+            |b, (g, t)| b.iter(|| karger_dp::one_respecting_cuts(g, t)),
+        );
+        if n <= 512 {
+            group.bench_with_input(
+                BenchmarkId::new("brute_nm", n),
+                &(&g, &tree),
+                |b, (g, t)| b.iter(|| karger_dp::one_respecting_cuts_brute(g, t)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_respect);
+criterion_main!(benches);

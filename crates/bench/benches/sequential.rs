@@ -1,0 +1,38 @@
+//! Criterion benches of the sequential algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::generators;
+use mincut::seq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize) -> graphs::WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = generators::erdos_renyi_connected(n, 8.0 / n as f64, &mut rng).unwrap();
+    generators::randomize_weights(&base, 1, 16, &mut rng).unwrap()
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_mincut");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let g = instance(n);
+        group.bench_with_input(BenchmarkId::new("stoer_wagner", n), &g, |b, g| {
+            b.iter(|| seq::stoer_wagner(g).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("karger_stein", n), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| seq::karger_stein(g, &mut rng).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("packing_mincut", n), &g, |b, g| {
+            b.iter(|| seq::packing_mincut(g, &Default::default()).unwrap().cut.value)
+        });
+        group.bench_with_input(BenchmarkId::new("matula_2eps", n), &g, |b, g| {
+            b.iter(|| seq::matula_estimate(g, 0.5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches of the CONGEST engine and its primitives (simulation
+//! throughput, not round counts).
+
+use congest::primitives::convergecast::{Convergecast, SumU64};
+use congest::primitives::leader_bfs::LeaderBfs;
+use congest::{Network, NetworkConfig, TreeInfo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::generators;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_engine");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let g = generators::torus2d(side, side).unwrap();
+        let n = g.node_count();
+        group.bench_with_input(BenchmarkId::new("leader_bfs", n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g, NetworkConfig::default());
+                net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+                    .unwrap()
+                    .metrics
+                    .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("convergecast", n), &g, |b, g| {
+            let mut net = Network::new(g, NetworkConfig::default());
+            let trees: Vec<TreeInfo> = net
+                .run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+                .unwrap()
+                .outputs
+                .into_iter()
+                .map(|o| o.tree)
+                .collect();
+            b.iter(|| {
+                let inputs: Vec<(TreeInfo, SumU64)> = trees
+                    .iter()
+                    .enumerate()
+                    .map(|(v, t)| (t.clone(), SumU64(v as u64)))
+                    .collect();
+                net.run("sum", &Convergecast::new(), inputs).unwrap().metrics.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E1 — Exactness of the `Õ((√n+D)·poly(λ))` algorithm and the number of
+//! trees the greedy packing actually needs (vs Thorup's `λ⁷log³n` bound).
+
+use graphs::generators;
+use mincut::dist::driver::{exact_mincut, ExactConfig};
+use mincut::seq::stoer_wagner;
+use mincut_bench::{banner, table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "E1",
+        "exactness across families; trees needed in practice vs Thorup's bound",
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut cases: Vec<(String, graphs::WeightedGraph)> = vec![
+        ("cycle(32)".into(), generators::cycle(32).unwrap()),
+        ("grid(6x8)".into(), generators::grid2d(6, 8).unwrap()),
+        ("torus(6x6)".into(), generators::torus2d(6, 6).unwrap()),
+        ("hypercube(6)".into(), generators::hypercube(6).unwrap()),
+        (
+            "clique_pair(10,4)".into(),
+            generators::clique_pair(10, 4).unwrap().graph,
+        ),
+        (
+            "barbell(7,6)".into(),
+            generators::barbell(7, 6).unwrap().graph,
+        ),
+        (
+            "das_sarma(3,8)".into(),
+            generators::das_sarma_style(3, 8).unwrap(),
+        ),
+    ];
+    for i in 0..4 {
+        let base = generators::erdos_renyi_connected(40, 0.15, &mut rng).unwrap();
+        let g = generators::randomize_weights(&base, 1, 6, &mut rng).unwrap();
+        cases.push((format!("gnp(40,.15)#{i}"), g));
+    }
+    for lam in [2usize, 4] {
+        let p = generators::community_pair(20, 6, lam, &mut rng).unwrap();
+        cases.push((format!("community(λ={lam})"), p.graph));
+    }
+
+    let mut rows = Vec::new();
+    let mut exact = 0;
+    let thorup = |lambda: u64, n: usize| -> f64 {
+        (lambda.max(1) as f64).powi(7) * (n as f64).ln().powi(3)
+    };
+    for (name, g) in &cases {
+        let want = stoer_wagner(g).unwrap().value;
+        let r = exact_mincut(g, &ExactConfig::default()).unwrap();
+        let ok = r.cut.value == want;
+        exact += ok as usize;
+        rows.push(vec![
+            name.clone(),
+            g.node_count().to_string(),
+            want.to_string(),
+            r.cut.value.to_string(),
+            if ok { "yes".into() } else { "NO".into() },
+            r.trees_to_best.to_string(),
+            r.trees_packed.to_string(),
+            format!("{:.1e}", thorup(want, g.node_count())),
+        ]);
+    }
+    table(
+        &[
+            "instance", "n", "λ (oracle)", "λ (dist)", "exact", "trees→best", "trees packed",
+            "Thorup bound",
+        ],
+        &rows,
+    );
+    println!(
+        "exactness: {exact}/{} instances; the heuristic packing needs a handful of trees where the theorem asks for λ⁷log³n.",
+        cases.len()
+    );
+}

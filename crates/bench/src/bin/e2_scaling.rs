@@ -1,0 +1,63 @@
+//! E2 — Round complexity of one MST + 1-respecting stage scales as
+//! `Õ(√n + D)` (Theorem 2.1 plus the Kutten–Peleg-style MST): the
+//! normalized cost `rounds/(√n+D)` stays near-flat (polylog drift) while
+//! `n` grows 16-fold.
+
+use graphs::generators;
+use mincut_bench::{banner, f, scaling_unit, single_tree_run, table};
+
+fn main() {
+    banner("E2", "rounds of one tree iteration track √n + D (fig.-style series)");
+
+    println!("### Torus family (D = Θ(√n))");
+    println!();
+    let mut rows = Vec::new();
+    for side in [6usize, 9, 12, 18, 24] {
+        let g = generators::torus2d(side, side).unwrap();
+        let unit = scaling_unit(&g);
+        let r = single_tree_run(&g);
+        rows.push(vec![
+            format!("torus({side}x{side})"),
+            g.node_count().to_string(),
+            f(unit, 1),
+            r.rounds.to_string(),
+            f(r.rounds as f64 / unit, 1),
+        ]);
+    }
+    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+
+    println!("### Das-Sarma family (D = O(log n), √n dominates)");
+    println!();
+    let mut rows = Vec::new();
+    for (gamma, ell) in [(3usize, 8usize), (4, 16), (6, 32), (8, 64)] {
+        let g = generators::das_sarma_style(gamma, ell).unwrap();
+        let unit = scaling_unit(&g);
+        let r = single_tree_run(&g);
+        rows.push(vec![
+            format!("das_sarma({gamma},{ell})"),
+            g.node_count().to_string(),
+            f(unit, 1),
+            r.rounds.to_string(),
+            f(r.rounds as f64 / unit, 1),
+        ]);
+    }
+    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+
+    println!("### Path family (D = Θ(n): the D term dominates)");
+    println!();
+    let mut rows = Vec::new();
+    for n in [64usize, 128, 256] {
+        let g = generators::path(n).unwrap();
+        let unit = scaling_unit(&g);
+        let r = single_tree_run(&g);
+        rows.push(vec![
+            format!("path({n})"),
+            n.to_string(),
+            f(unit, 1),
+            r.rounds.to_string(),
+            f(r.rounds as f64 / unit, 1),
+        ]);
+    }
+    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+    println!("shape check: the last column drifts polylogarithmically, not polynomially.");
+}

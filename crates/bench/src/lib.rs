@@ -1,0 +1,74 @@
+//! Experiment harness: table formatting and shared runners for the
+//! experiment binaries (E1–E9) that regenerate the evaluation described in
+//! DESIGN.md / EXPERIMENTS.md.
+
+use graphs::WeightedGraph;
+use mincut::dist::driver::{exact_mincut, DistMinCutResult, ExactConfig};
+use mincut::seq::tree_packing::{PackingConfig, PackingSize};
+
+/// Prints a markdown table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for r in rows {
+        line(r.clone());
+    }
+    println!();
+}
+
+/// `√n + D` — the paper's scaling unit for a graph.
+pub fn scaling_unit(g: &WeightedGraph) -> f64 {
+    let d = graphs::traversal::two_sweep_diameter(g) as f64;
+    (g.node_count() as f64).sqrt() + d
+}
+
+/// Runs the exact distributed algorithm with a single packed tree — the
+/// cost of one MST + orientation + 1-respecting stage (Theorem 2.1 plus
+/// the MST), which is what the scaling experiments measure.
+pub fn single_tree_run(g: &WeightedGraph) -> DistMinCutResult {
+    let cfg = ExactConfig {
+        packing: PackingConfig {
+            size: PackingSize::Fixed(1),
+            max_trees: 1,
+        },
+        ..Default::default()
+    };
+    exact_mincut(g, &cfg).expect("single-tree run")
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Experiment header banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("## {id} — {claim}");
+    println!();
+}

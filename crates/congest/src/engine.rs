@@ -1,0 +1,541 @@
+//! The synchronous round engine.
+
+use crate::algorithm::{Algorithm, Step};
+use crate::config::NetworkConfig;
+use crate::error::CongestError;
+use crate::message::Message;
+use crate::metrics::{MetricsLedger, PhaseMetrics};
+use crate::node::{NeighborInfo, NodeCtx, Port};
+use graphs::{NodeId, WeightedGraph};
+
+/// The result of running one phase.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<O> {
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<O>,
+    /// This phase's metrics (also appended to the session ledger).
+    pub metrics: PhaseMetrics,
+}
+
+/// A simulated CONGEST network over a fixed graph.
+///
+/// Holds the topology, the configuration, and the session metrics ledger.
+/// Phases are executed with [`Network::run`]; per-node outputs of one phase
+/// become per-node inputs of the next.
+pub struct Network<'g> {
+    graph: &'g WeightedGraph,
+    config: NetworkConfig,
+    ledger: MetricsLedger,
+    /// `neighbors[v]` — the local view of node `v` (adjacency order).
+    neighbors: Vec<Vec<NeighborInfo>>,
+    /// `routing[v][p]` = (destination node, destination port) of `v`'s port `p`.
+    routing: Vec<Vec<(u32, u32)>>,
+    bandwidth_bits: usize,
+}
+
+impl<'g> Network<'g> {
+    /// Builds a network over `graph` with the given configuration.
+    pub fn new(graph: &'g WeightedGraph, config: NetworkConfig) -> Self {
+        let n = graph.node_count();
+        let mut neighbors: Vec<Vec<NeighborInfo>> = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            neighbors.push(
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|a| NeighborInfo {
+                        id: a.neighbor,
+                        weight: a.weight,
+                        edge: a.edge,
+                    })
+                    .collect(),
+            );
+        }
+        // Port-level routing: v's port p leads to u; find u's port back to v.
+        let mut routing: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let mut row = Vec::with_capacity(neighbors[v.index()].len());
+            for ni in &neighbors[v.index()] {
+                let u = ni.id;
+                let back = neighbors[u.index()]
+                    .iter()
+                    .position(|b| b.id == v)
+                    .expect("undirected adjacency is symmetric");
+                row.push((u.raw(), back as u32));
+            }
+            routing.push(row);
+        }
+        let bandwidth_bits = config.bandwidth_bits(n);
+        Network {
+            graph,
+            config,
+            ledger: MetricsLedger::new(),
+            neighbors,
+            routing,
+            bandwidth_bits,
+        }
+    }
+
+    /// The underlying graph. The returned reference carries the graph's own
+    /// lifetime, so holding it does not borrow the network.
+    pub fn graph(&self) -> &'g WeightedGraph {
+        self.graph
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The session metrics ledger.
+    pub fn ledger(&self) -> &MetricsLedger {
+        &self.ledger
+    }
+
+    /// Clears the session metrics ledger.
+    pub fn reset_ledger(&mut self) {
+        self.ledger.reset();
+    }
+
+    /// The per-edge, per-direction, per-round budget in bits.
+    pub fn bandwidth_bits(&self) -> usize {
+        self.bandwidth_bits
+    }
+
+    fn ctx(&self, v: usize, round: u64) -> NodeCtx<'_> {
+        NodeCtx {
+            node: NodeId::from_index(v),
+            n: self.graph.node_count(),
+            bandwidth_bits: self.bandwidth_bits,
+            round,
+            neighbors: &self.neighbors[v],
+        }
+    }
+
+    /// Runs one phase to completion: boots every node with its input,
+    /// executes synchronous rounds until every node has halted, and returns
+    /// per-node outputs plus metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError`] on wrong input count, invalid or double
+    /// sends, bandwidth violations (strict mode), messages to halted nodes
+    /// (strict mode), or when the round cap is exceeded.
+    pub fn run<A: Algorithm>(
+        &mut self,
+        name: &str,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<RunOutcome<A::Output>, CongestError> {
+        let n = self.graph.node_count();
+        if inputs.len() != n {
+            return Err(CongestError::WrongInputCount {
+                phase: name.to_string(),
+                got: inputs.len(),
+                want: n,
+            });
+        }
+        let cap = self.config.effective_max_rounds(n);
+        let mut metrics = PhaseMetrics {
+            name: name.to_string(),
+            ..Default::default()
+        };
+
+        let mut states: Vec<Option<A::State>> = Vec::with_capacity(n);
+        let mut halted = vec![false; n];
+        // Messages in flight, grouped by destination: (dest_port, msg),
+        // collected per destination node and sorted by port before delivery.
+        let mut inflight: Vec<Vec<(Port, A::Msg)>> = vec![Vec::new(); n];
+        let mut live = n;
+
+        // Boot: round 0.
+        for (v, input) in inputs.into_iter().enumerate() {
+            let ctx = self.ctx(v, 0);
+            let (state, outbox) = algo.boot(&ctx, input);
+            states.push(Some(state));
+            self.route(name, v, outbox.msgs, 0, &mut inflight, &mut metrics)?;
+        }
+
+        let mut round: u64 = 0;
+        loop {
+            let in_flight_count: usize = inflight.iter().map(|q| q.len()).sum();
+            if live == 0 {
+                if in_flight_count > 0 {
+                    // Someone sent to a halted node (everyone is halted).
+                    let dest = inflight
+                        .iter()
+                        .position(|q| !q.is_empty())
+                        .expect("non-empty queue exists");
+                    if self.config.strict {
+                        return Err(CongestError::MessageToHalted {
+                            phase: name.to_string(),
+                            node: NodeId::from_index(dest),
+                            round,
+                        });
+                    }
+                }
+                break;
+            }
+            if in_flight_count == 0 && round > 0 {
+                // No messages and nobody halted this instant: nodes may still
+                // be counting rounds internally, so keep stepping — but only
+                // live nodes exist, so fall through to stepping.
+            }
+            round += 1;
+            if round > cap {
+                return Err(CongestError::MaxRoundsExceeded {
+                    phase: name.to_string(),
+                    cap,
+                });
+            }
+
+            // Deliver: move inflight into per-node inboxes.
+            let mut next_inflight: Vec<Vec<(Port, A::Msg)>> = vec![Vec::new(); n];
+            for v in 0..n {
+                let mut inbox = std::mem::take(&mut inflight[v]);
+                if !inbox.is_empty() && halted[v] {
+                    if self.config.strict {
+                        return Err(CongestError::MessageToHalted {
+                            phase: name.to_string(),
+                            node: NodeId::from_index(v),
+                            round,
+                        });
+                    }
+                    inbox.clear();
+                }
+                if halted[v] {
+                    continue;
+                }
+                inbox.sort_by_key(|(p, _)| *p);
+                let ctx = self.ctx(v, round);
+                let state = states[v].as_mut().expect("live node has state");
+                let step = algo.round(state, &ctx, &inbox);
+                let outbox = match step {
+                    Step::Continue(o) => o,
+                    Step::Halt(o) => {
+                        halted[v] = true;
+                        live -= 1;
+                        o
+                    }
+                };
+                self.route(name, v, outbox.msgs, round, &mut next_inflight, &mut metrics)?;
+            }
+            inflight = next_inflight;
+        }
+        metrics.rounds = round;
+        metrics.max_edge_load_bits = metrics.max_message_bits;
+
+        let outputs: Vec<A::Output> = states
+            .into_iter()
+            .enumerate()
+            .map(|(v, s)| {
+                let ctx = self.ctx(v, round);
+                algo.finish(s.expect("state present"), &ctx)
+            })
+            .collect();
+        self.ledger.push(metrics.clone());
+        Ok(RunOutcome { outputs, metrics })
+    }
+
+    /// Validates and routes one node's outbox into the in-flight queues.
+    fn route<M: Message>(
+        &self,
+        phase: &str,
+        v: usize,
+        msgs: Vec<(Port, M)>,
+        round: u64,
+        inflight: &mut [Vec<(Port, M)>],
+        metrics: &mut PhaseMetrics,
+    ) -> Result<(), CongestError> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        let degree = self.neighbors[v].len();
+        let mut used = vec![false; degree];
+        for (port, msg) in msgs {
+            if port.index() >= degree {
+                return Err(CongestError::InvalidPort {
+                    phase: phase.to_string(),
+                    node: NodeId::from_index(v),
+                    port,
+                    degree,
+                });
+            }
+            if used[port.index()] {
+                return Err(CongestError::DoubleSend {
+                    phase: phase.to_string(),
+                    node: NodeId::from_index(v),
+                    port,
+                    round,
+                });
+            }
+            used[port.index()] = true;
+            let bits = msg.bit_len();
+            if bits > self.bandwidth_bits {
+                if self.config.strict {
+                    return Err(CongestError::BandwidthExceeded {
+                        phase: phase.to_string(),
+                        node: NodeId::from_index(v),
+                        port,
+                        bits,
+                        budget: self.bandwidth_bits,
+                        round,
+                    });
+                }
+                metrics.violations += 1;
+            }
+            metrics.messages += 1;
+            metrics.bits += bits as u64;
+            metrics.max_message_bits = metrics.max_message_bits.max(bits);
+            let (dest, dest_port) = self.routing[v][port.index()];
+            inflight[dest as usize].push((Port(dest_port), msg));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Outbox;
+
+    /// Every node floods its id for `ttl` rounds and records the minimum it
+    /// has seen — a toy algorithm exercising the engine paths.
+    struct MinFlood {
+        ttl: u64,
+    }
+
+    struct MinState {
+        best: u32,
+        changed: bool,
+    }
+
+    impl Algorithm for MinFlood {
+        type Input = ();
+        type State = MinState;
+        type Msg = u32;
+        type Output = u32;
+
+        fn boot(&self, ctx: &NodeCtx<'_>, _input: ()) -> (MinState, Outbox<u32>) {
+            let mut o = Outbox::new();
+            o.send_all(ctx.ports(), ctx.node.raw());
+            (
+                MinState {
+                    best: ctx.node.raw(),
+                    changed: false,
+                },
+                o,
+            )
+        }
+
+        fn round(
+            &self,
+            state: &mut MinState,
+            ctx: &NodeCtx<'_>,
+            inbox: &[(Port, u32)],
+        ) -> Step<u32> {
+            state.changed = false;
+            for (_, m) in inbox {
+                if *m < state.best {
+                    state.best = *m;
+                    state.changed = true;
+                }
+            }
+            if ctx.round >= self.ttl {
+                return Step::halt();
+            }
+            let mut o = Outbox::new();
+            if state.changed {
+                o.send_all(ctx.ports(), state.best);
+            }
+            Step::Continue(o)
+        }
+
+        fn finish(&self, state: MinState, _ctx: &NodeCtx<'_>) -> u32 {
+            state.best
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_on_path() {
+        let g = graphs::generators::path(10).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let out = net
+            .run("min_flood", &MinFlood { ttl: 12 }, vec![(); 10])
+            .unwrap();
+        assert!(out.outputs.iter().all(|&b| b == 0));
+        assert_eq!(out.metrics.rounds, 12);
+        assert!(out.metrics.messages > 0);
+        assert_eq!(net.ledger().total_rounds(), 12);
+    }
+
+    /// A message that claims to be enormous.
+    #[derive(Clone, Debug)]
+    struct FatMsg;
+    impl Message for FatMsg {
+        fn bit_len(&self) -> usize {
+            10_000
+        }
+    }
+
+    /// An algorithm that sends an over-budget message.
+    struct FatSender;
+    impl Algorithm for FatSender {
+        type Input = ();
+        type State = ();
+        type Msg = FatMsg;
+        type Output = ();
+
+        fn boot(&self, ctx: &NodeCtx<'_>, _i: ()) -> ((), Outbox<FatMsg>) {
+            let mut o = Outbox::new();
+            if ctx.node.raw() == 0 {
+                o.send(Port(0), FatMsg);
+            }
+            ((), o)
+        }
+
+        fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, FatMsg)]) -> Step<FatMsg> {
+            Step::halt()
+        }
+
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn strict_mode_rejects_fat_messages() {
+        let g = graphs::generators::path(4).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let err = net.run("fat", &FatSender, vec![(); 4]).unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn lax_mode_counts_violations() {
+        let g = graphs::generators::path(4).unwrap();
+        let cfg = NetworkConfig {
+            strict: false,
+            ..Default::default()
+        };
+        let mut net = Network::new(&g, cfg);
+        let out = net.run("fat", &FatSender, vec![(); 4]).unwrap();
+        assert_eq!(out.metrics.violations, 1);
+    }
+
+    /// Sends two messages on the same port.
+    struct DoubleSender;
+    impl Algorithm for DoubleSender {
+        type Input = ();
+        type State = ();
+        type Msg = u32;
+        type Output = ();
+
+        fn boot(&self, ctx: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+            let mut o = Outbox::new();
+            if ctx.node.raw() == 0 {
+                o.send(Port(0), 1).send(Port(0), 2);
+            }
+            ((), o)
+        }
+        fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+            Step::halt()
+        }
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn double_send_is_rejected() {
+        let g = graphs::generators::path(3).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let err = net.run("dbl", &DoubleSender, vec![(); 3]).unwrap_err();
+        assert!(matches!(err, CongestError::DoubleSend { .. }));
+    }
+
+    /// Never halts, never sends — must hit the round cap.
+    struct Livelock;
+    impl Algorithm for Livelock {
+        type Input = ();
+        type State = ();
+        type Msg = ();
+        type Output = ();
+        fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<()>) {
+            ((), Outbox::new())
+        }
+        fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, ())]) -> Step<()> {
+            Step::idle()
+        }
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn livelock_hits_round_cap() {
+        let g = graphs::generators::path(3).unwrap();
+        let cfg = NetworkConfig {
+            max_rounds: 50,
+            ..Default::default()
+        };
+        let mut net = Network::new(&g, cfg);
+        let err = net.run("livelock", &Livelock, vec![(); 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            CongestError::MaxRoundsExceeded { cap: 50, .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_input_count_is_rejected() {
+        let g = graphs::generators::path(3).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let err = net.run("wrong", &Livelock, vec![(); 2]).unwrap_err();
+        assert!(matches!(err, CongestError::WrongInputCount { .. }));
+    }
+
+    /// Node 0 sends to node 1 after node 1 has halted.
+    struct LateSender;
+    impl Algorithm for LateSender {
+        type Input = ();
+        type State = ();
+        type Msg = u32;
+        type Output = ();
+        fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+            ((), Outbox::new())
+        }
+        fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+            if ctx.node.raw() == 1 {
+                return Step::halt(); // halts in round 1
+            }
+            if ctx.round == 2 && ctx.node.raw() == 0 {
+                let mut o = Outbox::new();
+                o.send(Port(0), 9); // arrives in round 3, node 1 halted
+                return Step::Halt(o);
+            }
+            if ctx.round >= 3 {
+                return Step::halt();
+            }
+            Step::idle()
+        }
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn message_to_halted_is_rejected_in_strict_mode() {
+        let g = graphs::generators::path(3).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let err = net.run("late", &LateSender, vec![(); 3]).unwrap_err();
+        assert!(matches!(err, CongestError::MessageToHalted { .. }));
+    }
+
+    #[test]
+    fn routing_is_symmetric() {
+        let g = graphs::generators::grid2d(3, 3).unwrap();
+        let net = Network::new(&g, NetworkConfig::default());
+        for v in 0..9 {
+            for (p, (dest, dest_port)) in net.routing[v].iter().enumerate() {
+                // Following the reverse port comes back.
+                assert_eq!(
+                    net.routing[*dest as usize][*dest_port as usize],
+                    (v as u32, p as u32)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Errors reported by the simulation engine.
+
+use crate::node::Port;
+use graphs::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`crate::Network::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A message exceeded the per-edge bandwidth budget (strict mode).
+    BandwidthExceeded {
+        /// Phase in which it happened.
+        phase: String,
+        /// Sending node.
+        node: NodeId,
+        /// Port it was sent on.
+        port: Port,
+        /// The message's size in bits.
+        bits: usize,
+        /// The budget it exceeded.
+        budget: usize,
+        /// Round number.
+        round: u64,
+    },
+    /// A node queued two messages on the same port in one round.
+    DoubleSend {
+        /// Phase in which it happened.
+        phase: String,
+        /// Sending node.
+        node: NodeId,
+        /// The port used twice.
+        port: Port,
+        /// Round number.
+        round: u64,
+    },
+    /// A node addressed a port it does not have.
+    InvalidPort {
+        /// Phase in which it happened.
+        phase: String,
+        /// Sending node.
+        node: NodeId,
+        /// The bogus port.
+        port: Port,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// A message arrived at a node that had already halted (strict mode).
+    MessageToHalted {
+        /// Phase in which it happened.
+        phase: String,
+        /// The halted recipient.
+        node: NodeId,
+        /// Round number.
+        round: u64,
+    },
+    /// The phase exceeded the round cap — almost certainly a livelock.
+    MaxRoundsExceeded {
+        /// Phase in which it happened.
+        phase: String,
+        /// The cap that was hit.
+        cap: u64,
+    },
+    /// `inputs.len()` did not match the node count.
+    WrongInputCount {
+        /// Phase name.
+        phase: String,
+        /// Inputs provided.
+        got: usize,
+        /// Nodes in the network.
+        want: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::BandwidthExceeded {
+                phase,
+                node,
+                port,
+                bits,
+                budget,
+                round,
+            } => write!(
+                f,
+                "phase {phase:?} round {round}: node {node} sent {bits} bits on {port}, budget {budget}"
+            ),
+            CongestError::DoubleSend {
+                phase,
+                node,
+                port,
+                round,
+            } => write!(
+                f,
+                "phase {phase:?} round {round}: node {node} sent twice on {port}"
+            ),
+            CongestError::InvalidPort {
+                phase,
+                node,
+                port,
+                degree,
+            } => write!(
+                f,
+                "phase {phase:?}: node {node} used {port} but has degree {degree}"
+            ),
+            CongestError::MessageToHalted { phase, node, round } => write!(
+                f,
+                "phase {phase:?} round {round}: message delivered to halted node {node}"
+            ),
+            CongestError::MaxRoundsExceeded { phase, cap } => {
+                write!(f, "phase {phase:?} exceeded {cap} rounds (livelock?)")
+            }
+            CongestError::WrongInputCount { phase, got, want } => {
+                write!(f, "phase {phase:?}: {got} inputs for {want} nodes")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CongestError::BandwidthExceeded {
+            phase: "mst".into(),
+            node: NodeId::new(3),
+            port: Port(1),
+            bits: 99,
+            budget: 80,
+            round: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("mst") && s.contains("99") && s.contains("80"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Round/message/bit metering, per phase and per session.
+
+/// Metrics of one phase (one [`crate::Network::run`] call).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PhaseMetrics {
+    /// Phase name (as passed to `run`).
+    pub name: String,
+    /// Rounds consumed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub bits: u64,
+    /// The largest single-message size observed (bits).
+    pub max_message_bits: usize,
+    /// The largest per-edge, per-direction, per-round load observed (bits).
+    /// Equal to `max_message_bits` because the engine permits one message
+    /// per directed edge per round; kept separate for clarity in reports.
+    pub max_edge_load_bits: usize,
+    /// Bandwidth violations observed (always 0 in strict mode — strict runs
+    /// fail fast instead).
+    pub violations: u64,
+}
+
+/// Accumulated metrics of a session: one entry per executed phase.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsLedger {
+    phases: Vec<PhaseMetrics>,
+}
+
+impl MetricsLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finished phase.
+    pub fn push(&mut self, m: PhaseMetrics) {
+        self.phases.push(m);
+    }
+
+    /// All recorded phases in execution order.
+    pub fn phases(&self) -> &[PhaseMetrics] {
+        &self.phases
+    }
+
+    /// Total rounds across phases — the headline complexity measure.
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds).sum()
+    }
+
+    /// Total messages across phases.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages).sum()
+    }
+
+    /// Total bits across phases.
+    pub fn total_bits(&self) -> u64 {
+        self.phases.iter().map(|p| p.bits).sum()
+    }
+
+    /// The largest message observed in any phase.
+    pub fn max_message_bits(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| p.max_message_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total violations (lax mode only).
+    pub fn total_violations(&self) -> u64 {
+        self.phases.iter().map(|p| p.violations).sum()
+    }
+
+    /// Sums the rounds of phases whose name contains `needle` — used by the
+    /// experiment harness to group repeated phases (e.g. every packing
+    /// iteration's MST).
+    pub fn rounds_matching(&self, needle: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// Clears all recorded phases.
+    pub fn reset(&mut self) {
+        self.phases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, rounds: u64, messages: u64, bits: u64) -> PhaseMetrics {
+        PhaseMetrics {
+            name: name.to_string(),
+            rounds,
+            messages,
+            bits,
+            max_message_bits: bits as usize,
+            max_edge_load_bits: bits as usize,
+            violations: 0,
+        }
+    }
+
+    #[test]
+    fn ledger_totals() {
+        let mut l = MetricsLedger::new();
+        l.push(phase("a", 10, 100, 1000));
+        l.push(phase("b", 5, 50, 500));
+        l.push(phase("a2", 1, 2, 3));
+        assert_eq!(l.total_rounds(), 16);
+        assert_eq!(l.total_messages(), 152);
+        assert_eq!(l.total_bits(), 1503);
+        assert_eq!(l.max_message_bits(), 1000);
+        assert_eq!(l.rounds_matching("a"), 11);
+        assert_eq!(l.phases().len(), 3);
+        l.reset();
+        assert_eq!(l.total_rounds(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-node local views: ports, neighbor info, node context, and the
+//! tree-structure handle shared by the tree primitives.
+
+use graphs::{EdgeId, NodeId, Weight};
+
+/// A node's local name for one of its incident edges: the index into its
+/// adjacency list (`0..degree`). Messages are addressed to ports, matching
+/// the standard port-numbering formulation of message passing.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// The port index as `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What a node knows about one incident edge: the neighbor's identifier and
+/// the edge weight. (Nodes know incident edge weights per the paper's model
+/// statement; neighbor identifiers are learnable in one round and assumed
+/// known, as is standard.)
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NeighborInfo {
+    /// The neighbor's node identifier.
+    pub id: NodeId,
+    /// The weight of the connecting edge.
+    pub weight: Weight,
+    /// The global edge identifier (used only for deterministic tie-breaking,
+    /// as an `O(log n)`-bit name both endpoints agree on).
+    pub edge: EdgeId,
+}
+
+/// The local context handed to node code each round.
+///
+/// Contains exactly what a CONGEST node may know a priori: its own id, `n`,
+/// the bandwidth budget, the current round number (synchronous model), and
+/// its incident edges.
+#[derive(Clone, Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's identifier.
+    pub node: NodeId,
+    /// Number of nodes in the network (globally known, standard assumption).
+    pub n: usize,
+    /// Per-edge, per-direction, per-round bandwidth in bits.
+    pub bandwidth_bits: usize,
+    /// Current round (1-based during [`crate::Algorithm::round`]; 0 in
+    /// `boot`). All nodes see the same value — the model is synchronous.
+    pub round: u64,
+    pub(crate) neighbors: &'a [NeighborInfo],
+}
+
+impl NodeCtx<'_> {
+    /// Number of incident edges.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor reachable through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn neighbor(&self, port: Port) -> &NeighborInfo {
+        &self.neighbors[port.index()]
+    }
+
+    /// All ports in increasing order.
+    pub fn ports(&self) -> impl Iterator<Item = Port> + '_ {
+        (0..self.neighbors.len() as u32).map(Port)
+    }
+
+    /// All `(port, neighbor)` pairs.
+    pub fn neighbors(&self) -> impl Iterator<Item = (Port, &NeighborInfo)> + '_ {
+        self.neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, ni)| (Port(i as u32), ni))
+    }
+
+    /// Looks up the port leading to the neighbor with identifier `id`.
+    pub fn port_of(&self, id: NodeId) -> Option<Port> {
+        self.neighbors
+            .iter()
+            .position(|ni| ni.id == id)
+            .map(|i| Port(i as u32))
+    }
+
+    /// The node's weighted degree `δ(v)`.
+    pub fn weighted_degree(&self) -> Weight {
+        self.neighbors.iter().map(|ni| ni.weight).sum()
+    }
+}
+
+/// A node's local handle on a rooted tree (or forest): which port leads to
+/// the parent and which ports lead to children. This is the lingua franca of
+/// the tree primitives — [`crate::primitives::leader_bfs::LeaderBfs`]
+/// produces one for the global BFS tree, the MST orientation phase produces
+/// one per fragment.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TreeInfo {
+    /// Port to the parent; `None` at a root.
+    pub parent: Option<Port>,
+    /// Ports to the children, sorted.
+    pub children: Vec<Port>,
+    /// Depth of this node (roots have depth 0).
+    pub depth: u32,
+}
+
+impl TreeInfo {
+    /// Returns `true` if this node is a root (no parent).
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Returns `true` if this node is a leaf (no children).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_info_flags() {
+        let root = TreeInfo {
+            parent: None,
+            children: vec![Port(0)],
+            depth: 0,
+        };
+        assert!(root.is_root());
+        assert!(!root.is_leaf());
+        let leaf = TreeInfo {
+            parent: Some(Port(1)),
+            children: vec![],
+            depth: 3,
+        };
+        assert!(!leaf.is_root());
+        assert!(leaf.is_leaf());
+        let default = TreeInfo::default();
+        assert!(default.is_root() && default.is_leaf());
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(Port(3).to_string(), "p3");
+        assert_eq!(Port(3).index(), 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Broadcast down a tree/forest: a single item, or a pipelined stream of
+//! `k` items in `O(k + height)` rounds.
+
+use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::message::{Message, TAG_BITS};
+use crate::node::{NodeCtx, Port, TreeInfo};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+
+/// Single-item broadcast: each root's item reaches every node of its tree.
+/// Rounds: `height + 1`.
+#[derive(Clone, Debug, Default)]
+pub struct Broadcast<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Broadcast<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        Broadcast {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Node state for [`Broadcast`].
+#[derive(Debug)]
+pub struct BcState<T> {
+    tree: TreeInfo,
+    item: Option<T>,
+}
+
+impl<T: Message> Algorithm for Broadcast<T> {
+    /// `(TreeInfo, Some(item))` at roots, `(TreeInfo, None)` elsewhere.
+    type Input = (TreeInfo, Option<T>);
+    type State = BcState<T>;
+    type Msg = T;
+    type Output = T;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, item): Self::Input) -> (BcState<T>, Outbox<T>) {
+        let mut out = Outbox::new();
+        if let Some(it) = &item {
+            debug_assert!(tree.is_root(), "only roots may hold the initial item");
+            out.send_all(tree.children.iter().copied(), it.clone());
+        }
+        (BcState { tree, item }, out)
+    }
+
+    fn round(&self, s: &mut BcState<T>, _ctx: &NodeCtx<'_>, inbox: &[(Port, T)]) -> Step<T> {
+        if s.item.is_some() {
+            // Root: sent at boot; done.
+            return Step::halt();
+        }
+        if let Some((_, item)) = inbox.first() {
+            s.item = Some(item.clone());
+            let mut out = Outbox::new();
+            out.send_all(s.tree.children.iter().copied(), item.clone());
+            return Step::Halt(out);
+        }
+        Step::idle()
+    }
+
+    fn finish(&self, s: BcState<T>, ctx: &NodeCtx<'_>) -> T {
+        s.item.unwrap_or_else(|| {
+            panic!(
+                "node {} never received the broadcast (is the forest consistent?)",
+                ctx.node
+            )
+        })
+    }
+}
+
+/// Messages of the pipelined stream primitives: a data item or the
+/// end-of-stream marker.
+#[derive(Clone, Debug)]
+pub enum StreamMsg<T> {
+    /// One data item.
+    Item(T),
+    /// No more items will follow on this edge.
+    End,
+}
+
+impl<T: Message> Message for StreamMsg<T> {
+    fn bit_len(&self) -> usize {
+        match self {
+            StreamMsg::Item(t) => TAG_BITS + t.bit_len(),
+            StreamMsg::End => TAG_BITS,
+        }
+    }
+}
+
+/// Pipelined multi-item broadcast: each root's item list reaches every node
+/// of its tree, in order, one item per edge per round. Rounds:
+/// `k + height + 1`.
+#[derive(Clone, Debug, Default)]
+pub struct BroadcastItems<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> BroadcastItems<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        BroadcastItems {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Node state for [`BroadcastItems`].
+#[derive(Debug)]
+pub struct BciState<T> {
+    tree: TreeInfo,
+    /// Items still to be sent downstream (roots: the input list).
+    queue: VecDeque<T>,
+    /// Everything seen (output).
+    received: Vec<T>,
+    /// The upstream marked end (roots: true from the start).
+    upstream_done: bool,
+}
+
+impl<T: Message> Algorithm for BroadcastItems<T> {
+    /// Roots: the item list; non-roots must pass an empty list.
+    type Input = (TreeInfo, Vec<T>);
+    type State = BciState<T>;
+    type Msg = StreamMsg<T>;
+    type Output = Vec<T>;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (BciState<T>, Outbox<StreamMsg<T>>) {
+        let is_root = tree.is_root();
+        debug_assert!(is_root || items.is_empty(), "only roots may hold items");
+        let state = BciState {
+            tree,
+            received: items.clone(),
+            queue: items.into(),
+            upstream_done: is_root,
+        };
+        (state, Outbox::new())
+    }
+
+    fn round(
+        &self,
+        s: &mut BciState<T>,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(Port, StreamMsg<T>)],
+    ) -> Step<StreamMsg<T>> {
+        for (_, msg) in inbox {
+            match msg {
+                StreamMsg::Item(t) => {
+                    s.received.push(t.clone());
+                    s.queue.push_back(t.clone());
+                }
+                StreamMsg::End => s.upstream_done = true,
+            }
+        }
+        let mut out = Outbox::new();
+        if let Some(item) = s.queue.pop_front() {
+            out.send_all(s.tree.children.iter().copied(), StreamMsg::Item(item));
+            Step::Continue(out)
+        } else if s.upstream_done {
+            out.send_all(s.tree.children.iter().copied(), StreamMsg::End);
+            Step::Halt(out)
+        } else {
+            Step::idle()
+        }
+    }
+
+    fn finish(&self, s: BciState<T>, _ctx: &NodeCtx<'_>) -> Vec<T> {
+        s.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::primitives::leader_bfs::LeaderBfs;
+    use graphs::generators;
+
+    fn bfs_trees(g: &graphs::WeightedGraph, net: &mut Network<'_>) -> Vec<TreeInfo> {
+        net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .unwrap()
+            .outputs
+            .into_iter()
+            .map(|o| o.tree)
+            .collect()
+    }
+
+    #[test]
+    fn single_broadcast_reaches_everyone() {
+        let g = generators::grid2d(4, 4).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let inputs: Vec<(TreeInfo, Option<u64>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| (t, (v == 0).then_some(42u64)))
+            .collect();
+        let out = net.run("bcast", &Broadcast::new(), inputs).unwrap();
+        assert!(out.outputs.iter().all(|&x| x == 42));
+        assert!(out.metrics.rounds <= 6 + 2);
+    }
+
+    #[test]
+    fn pipelined_broadcast_delivers_all_items_in_order() {
+        let g = generators::path(10).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let items: Vec<u64> = (100..120).collect();
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| (t, if v == 0 { items.clone() } else { vec![] }))
+            .collect();
+        let out = net.run("bcast_items", &BroadcastItems::new(), inputs).unwrap();
+        for o in &out.outputs {
+            assert_eq!(o, &items);
+        }
+        // Pipelining: k + depth + slack, NOT k * depth.
+        assert!(
+            out.metrics.rounds <= 20 + 9 + 3,
+            "rounds = {}",
+            out.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn forest_broadcast_stays_within_fragments() {
+        // Path of 6 split into {0,1,2} rooted at 0 and {3,4,5} rooted at 3.
+        let g = generators::path(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
+            parent: parent.map(Port),
+            children: children.into_iter().map(Port).collect(),
+            depth,
+        };
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = vec![
+            (t(None, vec![0], 0), vec![7, 8]),
+            (t(Some(0), vec![1], 1), vec![]),
+            (t(Some(0), vec![], 2), vec![]),
+            (t(None, vec![1], 0), vec![9]),
+            (t(Some(0), vec![1], 1), vec![]),
+            (t(Some(0), vec![], 2), vec![]),
+        ];
+        let out = net.run("forest_bcast", &BroadcastItems::new(), inputs).unwrap();
+        assert_eq!(out.outputs[2], vec![7, 8]);
+        assert_eq!(out.outputs[5], vec![9]);
+        assert_eq!(out.outputs[4], vec![9]);
+    }
+}

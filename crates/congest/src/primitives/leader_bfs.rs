@@ -1,0 +1,356 @@
+//! Leader election fused with BFS-tree construction.
+//!
+//! Every node floods the smallest identifier it has seen ("probe"); the
+//! flood of the global minimum wins. The first port a node hears the
+//! eventual leader from becomes its parent (ties broken toward the smallest
+//! port), which yields a true BFS tree because the flood advances one hop
+//! per round. Termination uses the classic echo: a node acknowledges to its
+//! parent once all of its other ports are resolved (each non-parent port is
+//! resolved by receiving either the same leader's probe — a crossing, the
+//! neighbor is not our child — or an ack — the neighbor is our child). When
+//! the root's echo completes, the whole network has joined its tree, and a
+//! "done" wave flushed down tree edges halts everyone.
+//!
+//! Round complexity `O(D)`; every message is `O(log n)` bits.
+//!
+//! A region that elects a *local* minimum can never complete its echo: the
+//! true minimum ignores larger probes and never acknowledges, so its port
+//! stays unresolved. Only the global minimum's echo completes — that is the
+//! correctness argument for the done wave.
+
+use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::message::{value_bits, Message, TAG_BITS};
+use crate::node::{NodeCtx, Port, TreeInfo};
+use graphs::NodeId;
+
+/// Messages of the leader/BFS phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaderMsg {
+    /// "My current leader is `leader`, at distance `depth` from me."
+    Probe {
+        /// Leader id being flooded.
+        leader: u32,
+        /// Sender's distance from that leader.
+        depth: u32,
+    },
+    /// "My subtree has fully joined `leader`'s tree; I am your child."
+    Ack {
+        /// Leader this ack refers to (stale acks are ignored).
+        leader: u32,
+    },
+    /// "The election is over; halt after forwarding to your children."
+    Done {
+        /// The elected leader.
+        leader: u32,
+    },
+}
+
+impl Message for LeaderMsg {
+    fn bit_len(&self) -> usize {
+        match self {
+            LeaderMsg::Probe { leader, depth } => {
+                TAG_BITS + value_bits(*leader as u64) + value_bits(*depth as u64)
+            }
+            LeaderMsg::Ack { leader } | LeaderMsg::Done { leader } => {
+                TAG_BITS + value_bits(*leader as u64)
+            }
+        }
+    }
+}
+
+/// Per-node output: the elected leader and this node's place in its BFS tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderBfsOutput {
+    /// The elected leader (the minimum identifier in the network).
+    pub leader: NodeId,
+    /// Parent/children/depth in the leader's BFS tree.
+    pub tree: TreeInfo,
+}
+
+/// The leader-election + BFS-tree phase. See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct LeaderBfs;
+
+impl LeaderBfs {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        LeaderBfs
+    }
+}
+
+/// Node state for [`LeaderBfs`].
+#[derive(Debug)]
+pub struct LeaderState {
+    best: u32,
+    depth: u32,
+    parent: Option<Port>,
+    /// Per-port resolution for the current `best`.
+    resolved: Vec<bool>,
+    /// Ports that acked us as their parent (our children).
+    children: Vec<bool>,
+    /// We must send probes for `best` on all non-parent ports next round.
+    probe_pending: bool,
+    acked: bool,
+}
+
+impl LeaderState {
+    fn adopt(&mut self, leader: u32, depth: u32, via: Port, degree: usize) {
+        self.best = leader;
+        self.depth = depth;
+        self.parent = Some(via);
+        self.resolved = vec![false; degree];
+        self.resolved[via.index()] = true;
+        self.children = vec![false; degree];
+        self.probe_pending = true;
+        self.acked = false;
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.resolved.iter().all(|&r| r)
+    }
+}
+
+impl Algorithm for LeaderBfs {
+    type Input = ();
+    type State = LeaderState;
+    type Msg = LeaderMsg;
+    type Output = LeaderBfsOutput;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, _input: ()) -> (LeaderState, Outbox<LeaderMsg>) {
+        let deg = ctx.degree();
+        let state = LeaderState {
+            best: ctx.node.raw(),
+            depth: 0,
+            parent: None,
+            resolved: vec![false; deg],
+            children: vec![false; deg],
+            probe_pending: false,
+            acked: false,
+        };
+        let mut out = Outbox::new();
+        out.send_all(
+            ctx.ports(),
+            LeaderMsg::Probe {
+                leader: ctx.node.raw(),
+                depth: 0,
+            },
+        );
+        (state, out)
+    }
+
+    fn round(
+        &self,
+        s: &mut LeaderState,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(Port, LeaderMsg)],
+    ) -> Step<LeaderMsg> {
+        let deg = ctx.degree();
+        let mut done: Option<u32> = None;
+        // Phase 1: adopt the best probe in this inbox, if it improves.
+        let mut best_new: Option<(u32, u32, Port)> = None;
+        for (port, msg) in inbox {
+            if let LeaderMsg::Probe { leader, depth } = msg {
+                if *leader < s.best {
+                    let cand = (*leader, *depth, *port);
+                    best_new = Some(match best_new {
+                        // Prefer the smaller leader; among equal leaders the
+                        // smaller depth, then the smaller port.
+                        Some(prev) if prev <= cand => prev,
+                        _ => cand,
+                    });
+                }
+            }
+        }
+        if let Some((leader, depth, port)) = best_new {
+            s.adopt(leader, depth + 1, port, deg);
+        }
+        // Phase 2: resolutions for the current leader.
+        for (port, msg) in inbox {
+            match msg {
+                LeaderMsg::Probe { leader, .. } => {
+                    if *leader == s.best && Some(*port) != s.parent {
+                        s.resolved[port.index()] = true;
+                    }
+                    // leader > best: ignore (they will adopt us later);
+                    // leader < best handled in phase 1 (parent port already
+                    // marked resolved by adopt).
+                }
+                LeaderMsg::Ack { leader } => {
+                    if *leader == s.best {
+                        s.resolved[port.index()] = true;
+                        s.children[port.index()] = true;
+                    }
+                }
+                LeaderMsg::Done { leader } => {
+                    debug_assert_eq!(*leader, s.best, "done wave carries the winner");
+                    done = Some(*leader);
+                }
+            }
+        }
+
+        let mut out = Outbox::new();
+        // Done wave: forward to children and halt.
+        if let Some(leader) = done {
+            for p in ctx.ports() {
+                if s.children[p.index()] {
+                    out.send(p, LeaderMsg::Done { leader });
+                }
+            }
+            return Step::Halt(out);
+        }
+        // Probes for a freshly adopted leader.
+        if s.probe_pending {
+            s.probe_pending = false;
+            for p in ctx.ports() {
+                if Some(p) != s.parent {
+                    out.send(
+                        p,
+                        LeaderMsg::Probe {
+                            leader: s.best,
+                            depth: s.depth,
+                        },
+                    );
+                }
+            }
+        }
+        // Echo: ack the parent once everything else is resolved.
+        if s.all_resolved() && !s.acked {
+            match s.parent {
+                Some(p) => {
+                    s.acked = true;
+                    out.send(p, LeaderMsg::Ack { leader: s.best });
+                }
+                None => {
+                    // We are the root and our echo completed: we are the
+                    // global minimum. Fire the done wave and halt.
+                    debug_assert_eq!(s.best, ctx.node.raw());
+                    for p in ctx.ports() {
+                        if s.children[p.index()] {
+                            out.send(p, LeaderMsg::Done { leader: s.best });
+                        }
+                    }
+                    return Step::Halt(out);
+                }
+            }
+        }
+        Step::Continue(out)
+    }
+
+    fn finish(&self, s: LeaderState, ctx: &NodeCtx<'_>) -> LeaderBfsOutput {
+        let children: Vec<Port> = ctx
+            .ports()
+            .filter(|p| s.children[p.index()])
+            .collect();
+        LeaderBfsOutput {
+            leader: NodeId::new(s.best),
+            tree: TreeInfo {
+                parent: s.parent,
+                children,
+                depth: s.depth,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use graphs::generators;
+    use graphs::WeightedGraph;
+
+    fn run_leader(g: &WeightedGraph) -> (Vec<LeaderBfsOutput>, u64) {
+        let mut net = Network::new(g, NetworkConfig::default());
+        let out = net
+            .run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .expect("leader election succeeds");
+        (out.outputs, out.metrics.rounds)
+    }
+
+    fn check_bfs_tree(g: &WeightedGraph, outs: &[LeaderBfsOutput]) {
+        let n = g.node_count();
+        let dist = graphs::traversal::bfs(g, NodeId::new(0)).dist;
+        for (v, o) in outs.iter().enumerate() {
+            assert_eq!(o.leader, NodeId::new(0), "node {v} elected {:?}", o.leader);
+            assert_eq!(o.tree.depth, dist[v], "node {v} depth");
+            if v == 0 {
+                assert!(o.tree.is_root());
+            } else {
+                let p = o.tree.parent.expect("non-root has parent");
+                let parent_id = g.neighbors(NodeId::from_index(v))[p.index()].neighbor;
+                assert_eq!(dist[parent_id.index()] + 1, dist[v], "BFS parent");
+            }
+        }
+        // Children lists are consistent with parents.
+        let mut child_count = 0;
+        for (v, o) in outs.iter().enumerate() {
+            for &c in &o.tree.children {
+                let child_id = g.neighbors(NodeId::from_index(v))[c.index()].neighbor;
+                let cp = outs[child_id.index()].tree.parent.expect("child has parent");
+                let back = g.neighbors(child_id)[cp.index()].neighbor;
+                assert_eq!(back, NodeId::from_index(v));
+                child_count += 1;
+            }
+        }
+        assert_eq!(child_count, n - 1, "tree has n-1 edges");
+    }
+
+    #[test]
+    fn elects_on_path() {
+        let g = generators::path(12).unwrap();
+        let (outs, rounds) = run_leader(&g);
+        check_bfs_tree(&g, &outs);
+        // Path diameter 11; flood + echo + done ≈ 3D.
+        assert!(rounds <= 3 * 11 + 6, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn elects_on_grid_and_torus() {
+        for g in [
+            generators::grid2d(5, 7).unwrap(),
+            generators::torus2d(4, 4).unwrap(),
+        ] {
+            let (outs, rounds) = run_leader(&g);
+            check_bfs_tree(&g, &outs);
+            let d = graphs::traversal::exact_diameter(&g) as u64;
+            assert!(rounds <= 3 * d + 8, "rounds = {rounds}, D = {d}");
+        }
+    }
+
+    #[test]
+    fn elects_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 10, 50, 120] {
+            let g = generators::erdos_renyi_connected(n, 0.08, &mut rng).unwrap();
+            let (outs, _) = run_leader(&g);
+            check_bfs_tree(&g, &outs);
+        }
+    }
+
+    #[test]
+    fn single_node_network() {
+        let g = WeightedGraph::from_edges(1, []).unwrap();
+        let (outs, rounds) = run_leader(&g);
+        assert_eq!(outs[0].leader, NodeId::new(0));
+        assert!(outs[0].tree.is_root());
+        assert!(rounds <= 2);
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter_not_n() {
+        // A star has D = 2 regardless of n: rounds must stay constant-ish.
+        let g = generators::star(200).unwrap();
+        let (_, rounds) = run_leader(&g);
+        assert!(rounds <= 12, "rounds = {rounds} on a star");
+    }
+
+    #[test]
+    fn messages_are_small() {
+        let g = generators::grid2d(6, 6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let out = net.run("leader_bfs", &LeaderBfs::new(), vec![(); 36]).unwrap();
+        assert!(out.metrics.max_message_bits <= net.bandwidth_bits());
+    }
+}

@@ -1,0 +1,36 @@
+//! Standard CONGEST building blocks.
+//!
+//! * [`leader_bfs`] — minimum-id leader election fused with BFS-tree
+//!   construction and echo-based termination: `O(D)` rounds.
+//! * [`convergecast`] — aggregate one value per node up a tree/forest
+//!   (`O(height)` rounds).
+//! * [`broadcast`] — one item, or a pipelined stream of `k` items, from each
+//!   root down its tree (`O(k + height)` rounds).
+//! * [`upcast`] — pipelined collection of all items at the root
+//!   (`O(k + height)` rounds).
+//! * [`grouped`] — pipelined grouped sums keyed by `u32`, merged in sorted
+//!   key order on the way up (`O(k + height)` rounds).
+//! * [`exchange`] — one-round neighbor exchange, and pipelined per-edge list
+//!   exchange (`O(k)` rounds).
+//!
+//! All tree primitives take a [`crate::TreeInfo`] per node and work on
+//! *forests*: a "root" is any node with `parent == None`, and disjoint trees
+//! run concurrently without interference (their edges are disjoint). That is
+//! exactly how the paper runs its intra-fragment steps in parallel across
+//! fragments.
+
+pub mod broadcast;
+pub mod convergecast;
+pub mod exchange;
+pub mod grouped;
+pub mod leader_bfs;
+pub mod subtree;
+pub mod upcast;
+
+pub use broadcast::{Broadcast, BroadcastItems};
+pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
+pub use exchange::{EdgeListExchange, NeighborExchange};
+pub use grouped::GroupedSum;
+pub use leader_bfs::{LeaderBfs, LeaderBfsOutput};
+pub use subtree::{KeyedSubtreeSum, SubtreeSums};
+pub use upcast::UpcastItems;

@@ -1,0 +1,402 @@
+//! Subtree aggregation with **per-node** outputs.
+//!
+//! * [`SubtreeSums`] — every node learns the sum of the input values over
+//!   its own subtree (`O(height)` rounds). The distributed counterpart of
+//!   `trees::subtree::subtree_sums`, used by the paper's Step 3
+//!   (`Σ_{u ∈ Fᵢ ∩ v↓} δ(u)`).
+//! * [`KeyedSubtreeSum`] — every node holds `(key, value)` tokens where
+//!   keys name **ancestors** (or the node itself) in the same tree; streams
+//!   merge upward in sorted key order and each node extracts the total for
+//!   its own key as the streams pass. `O(k + height)` rounds. This is the
+//!   paper's Step 5 type-(ii) counting: "every node `u` has to send the
+//!   number of messages `⟨v⟩` to its parent, for all `v` that is an
+//!   ancestor of `u` in the same fragment … by pipelining".
+
+use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::node::{NodeCtx, Port, TreeInfo};
+use crate::primitives::broadcast::StreamMsg;
+use crate::primitives::grouped::KeyedSum;
+use std::collections::VecDeque;
+
+/// Per-node subtree sums over a tree/forest. Input: `(TreeInfo, u64)`;
+/// output at **every** node: the sum over its subtree.
+#[derive(Clone, Debug, Default)]
+pub struct SubtreeSums;
+
+impl SubtreeSums {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        SubtreeSums
+    }
+}
+
+/// Node state for [`SubtreeSums`].
+#[derive(Debug)]
+pub struct SsState {
+    tree: TreeInfo,
+    acc: u64,
+    waiting: usize,
+    sent: bool,
+}
+
+impl Algorithm for SubtreeSums {
+    type Input = (TreeInfo, u64);
+    type State = SsState;
+    type Msg = u64;
+    type Output = u64;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, value): Self::Input) -> (SsState, Outbox<u64>) {
+        let waiting = tree.children.len();
+        (
+            SsState {
+                tree,
+                acc: value,
+                waiting,
+                sent: false,
+            },
+            Outbox::new(),
+        )
+    }
+
+    fn round(&self, s: &mut SsState, _ctx: &NodeCtx<'_>, inbox: &[(Port, u64)]) -> Step<u64> {
+        for (_, v) in inbox {
+            s.acc += v;
+            s.waiting -= 1;
+        }
+        if s.waiting == 0 && !s.sent {
+            s.sent = true;
+            match s.tree.parent {
+                Some(p) => {
+                    let mut o = Outbox::new();
+                    o.send(p, s.acc);
+                    Step::Halt(o)
+                }
+                None => Step::halt(),
+            }
+        } else {
+            Step::idle()
+        }
+    }
+
+    fn finish(&self, s: SsState, _ctx: &NodeCtx<'_>) -> u64 {
+        s.acc
+    }
+}
+
+/// Keyed subtree sums with per-node extraction (see module docs).
+///
+/// Input: `(TreeInfo, tokens)` where every token's key is the **id of an
+/// ancestor in the same tree** (or the node's own id). Output at every
+/// node: the total of tokens keyed by *its own id* within its subtree.
+/// Tokens keyed by nodes outside the subtree's ancestor chain would be
+/// forwarded to the root and dropped there (a debug assertion catches
+/// misuse).
+#[derive(Clone, Debug, Default)]
+pub struct KeyedSubtreeSum;
+
+impl KeyedSubtreeSum {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        KeyedSubtreeSum
+    }
+}
+
+/// One child stream of [`KeyedSubtreeSum`].
+#[derive(Debug, Default)]
+struct KStream {
+    buf: VecDeque<KeyedSum>,
+    ended: bool,
+}
+
+impl KStream {
+    fn ready(&self) -> bool {
+        self.ended || !self.buf.is_empty()
+    }
+    fn front_key(&self) -> Option<u32> {
+        self.buf.front().map(|p| p.key)
+    }
+}
+
+/// Node state for [`KeyedSubtreeSum`].
+#[derive(Debug)]
+pub struct KsState {
+    tree: TreeInfo,
+    streams: Vec<KStream>,
+    slot_of_port: Vec<usize>,
+    my_total: u64,
+    end_sent: bool,
+}
+
+impl KsState {
+    fn try_pop_min(&mut self) -> Option<KeyedSum> {
+        if !self.streams.iter().all(KStream::ready) {
+            return None;
+        }
+        let k = self.streams.iter().filter_map(KStream::front_key).min()?;
+        let mut total = 0u64;
+        for s in &mut self.streams {
+            while s.front_key() == Some(k) {
+                total += s.buf.pop_front().expect("front exists").value;
+            }
+        }
+        Some(KeyedSum { key: k, value: total })
+    }
+
+    fn exhausted(&self) -> bool {
+        self.streams.iter().all(|s| s.ended && s.buf.is_empty())
+    }
+}
+
+impl Algorithm for KeyedSubtreeSum {
+    type Input = (TreeInfo, Vec<(u32, u64)>);
+    type State = KsState;
+    type Msg = StreamMsg<KeyedSum>;
+    type Output = u64;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, (tree, mut items): Self::Input) -> (KsState, Outbox<Self::Msg>) {
+        items.sort_unstable_by_key(|&(k, _)| k);
+        let mut own = VecDeque::with_capacity(items.len());
+        for (k, v) in items {
+            match own.back_mut() {
+                Some(KeyedSum { key, value }) if *key == k => *value += v,
+                _ => own.push_back(KeyedSum { key: k, value: v }),
+            }
+        }
+        let mut streams = Vec::with_capacity(1 + tree.children.len());
+        streams.push(KStream {
+            buf: own,
+            ended: true,
+        });
+        let mut slot_of_port = vec![usize::MAX; ctx.degree()];
+        for (i, &c) in tree.children.iter().enumerate() {
+            slot_of_port[c.index()] = 1 + i;
+            streams.push(KStream::default());
+        }
+        (
+            KsState {
+                tree,
+                streams,
+                slot_of_port,
+                my_total: 0,
+                end_sent: false,
+            },
+            Outbox::new(),
+        )
+    }
+
+    fn round(
+        &self,
+        s: &mut KsState,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(Port, StreamMsg<KeyedSum>)],
+    ) -> Step<Self::Msg> {
+        for (port, msg) in inbox {
+            let slot = s.slot_of_port[port.index()];
+            debug_assert_ne!(slot, usize::MAX, "messages only arrive from children");
+            match msg {
+                StreamMsg::Item(p) => s.streams[slot].buf.push_back(p.clone()),
+                StreamMsg::End => s.streams[slot].ended = true,
+            }
+        }
+        let me = ctx.node.raw();
+        // Claim every decided batch for our own key before forwarding one
+        // batch upward per round.
+        loop {
+            // Peek: is the next decided key ours?
+            let next_is_mine = {
+                if !s.streams.iter().all(KStream::ready) {
+                    false
+                } else {
+                    s.streams.iter().filter_map(KStream::front_key).min() == Some(me)
+                }
+            };
+            if !next_is_mine {
+                break;
+            }
+            let p = s.try_pop_min().expect("ready and non-empty");
+            s.my_total += p.value;
+        }
+        match s.tree.parent {
+            None => {
+                // Root: drain and drop foreign keys (should not exist when
+                // used per contract).
+                while let Some(p) = s.try_pop_min() {
+                    debug_assert_eq!(
+                        p.key, me,
+                        "token keyed by {} reached the root {} — key was not an ancestor",
+                        p.key, me
+                    );
+                    if p.key == me {
+                        s.my_total += p.value;
+                    }
+                }
+                if s.exhausted() {
+                    Step::halt()
+                } else {
+                    Step::idle()
+                }
+            }
+            Some(parent) => {
+                let mut out = Outbox::new();
+                if let Some(p) = s.try_pop_min() {
+                    debug_assert_ne!(p.key, me, "own key claimed above");
+                    out.send(parent, StreamMsg::Item(p));
+                    Step::Continue(out)
+                } else if s.exhausted() && !s.end_sent {
+                    s.end_sent = true;
+                    out.send(parent, StreamMsg::End);
+                    Step::Halt(out)
+                } else {
+                    Step::idle()
+                }
+            }
+        }
+    }
+
+    fn finish(&self, s: KsState, _ctx: &NodeCtx<'_>) -> u64 {
+        s.my_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::primitives::leader_bfs::LeaderBfs;
+    use graphs::generators;
+    use graphs::NodeId;
+
+    fn bfs_outputs(
+        g: &graphs::WeightedGraph,
+        net: &mut Network<'_>,
+    ) -> Vec<crate::primitives::leader_bfs::LeaderBfsOutput> {
+        net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .unwrap()
+            .outputs
+    }
+
+    #[test]
+    fn subtree_sums_match_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = generators::erdos_renyi_connected(50, 0.08, &mut rng).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let outs = bfs_outputs(&g, &mut net);
+        let vals: Vec<u64> = (0..50).map(|_| rng.gen_range(0..100)).collect();
+        let inputs: Vec<(TreeInfo, u64)> = outs
+            .iter()
+            .zip(vals.iter())
+            .map(|(o, &v)| (o.tree.clone(), v))
+            .collect();
+        let got = net.run("ss", &SubtreeSums::new(), inputs).unwrap().outputs;
+        // Sequential oracle over the same tree.
+        let parent_ids: Vec<Option<NodeId>> = outs
+            .iter()
+            .enumerate()
+            .map(|(v, o)| {
+                o.tree
+                    .parent
+                    .map(|p| g.neighbors(NodeId::from_index(v))[p.index()].neighbor)
+            })
+            .collect();
+        let rt = trees::RootedTree::from_parents(NodeId::new(0), &parent_ids).unwrap();
+        let want = trees::subtree::subtree_sums(&rt, &vals);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn keyed_sums_deliver_to_each_ancestor() {
+        // Path 0-1-2-3-4 rooted at 0: tokens keyed by various ancestors.
+        let g = generators::path(5).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let outs = bfs_outputs(&g, &mut net);
+        // Node 4 holds tokens for ancestors 0, 2 and itself; node 3 for 1;
+        // node 2 for 2 (itself); node 1 for 0.
+        let tokens: Vec<Vec<(u32, u64)>> = vec![
+            vec![],
+            vec![(0, 5)],
+            vec![(2, 7)],
+            vec![(1, 11)],
+            vec![(0, 1), (2, 2), (4, 3)],
+        ];
+        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = outs
+            .iter()
+            .zip(tokens.iter())
+            .map(|(o, t)| (o.tree.clone(), t.clone()))
+            .collect();
+        let got = net.run("ks", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        assert_eq!(got, vec![6, 11, 9, 0, 3]);
+    }
+
+    #[test]
+    fn keyed_sums_on_random_trees_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let g = generators::erdos_renyi_connected(40, 0.1, &mut rng).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let outs = bfs_outputs(&g, &mut net);
+        let parent_ids: Vec<Option<NodeId>> = outs
+            .iter()
+            .enumerate()
+            .map(|(v, o)| {
+                o.tree
+                    .parent
+                    .map(|p| g.neighbors(NodeId::from_index(v))[p.index()].neighbor)
+            })
+            .collect();
+        let rt = trees::RootedTree::from_parents(NodeId::new(0), &parent_ids).unwrap();
+        // Tokens: every node emits a token for each of up to 3 random
+        // ancestors (including itself).
+        let mut tokens: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 40];
+        let mut want = vec![0u64; 40];
+        for v in 0..40u32 {
+            let ancs: Vec<NodeId> = rt.ancestors(NodeId::new(v)).collect();
+            for _ in 0..rng.gen_range(0..4) {
+                let a = ancs[rng.gen_range(0..ancs.len())];
+                let w = rng.gen_range(1..50u64);
+                tokens[v as usize].push((a.raw(), w));
+                want[a.index()] += w;
+            }
+        }
+        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = outs
+            .iter()
+            .zip(tokens.iter())
+            .map(|(o, t)| (o.tree.clone(), t.clone()))
+            .collect();
+        let got = net.run("ks_rand", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn forest_variant_works_per_fragment() {
+        // Path of 6 split into {0,1,2} and {3,4,5}.
+        let g = generators::path(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
+            parent: parent.map(Port),
+            children: children.into_iter().map(Port).collect(),
+            depth,
+        };
+        let trees = vec![
+            t(None, vec![0], 0),
+            t(Some(0), vec![1], 1),
+            t(Some(0), vec![], 2),
+            t(None, vec![1], 0),
+            t(Some(0), vec![1], 1),
+            t(Some(0), vec![], 2),
+        ];
+        let tokens: Vec<Vec<(u32, u64)>> = vec![
+            vec![(0, 1)],
+            vec![(0, 2)],
+            vec![(1, 4), (0, 8)],
+            vec![(3, 16)],
+            vec![(3, 32)],
+            vec![(4, 64), (5, 128)],
+        ];
+        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> =
+            trees.into_iter().zip(tokens).collect();
+        let got = net.run("ks_forest", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        assert_eq!(got, vec![11, 4, 0, 48, 64, 128]);
+    }
+}

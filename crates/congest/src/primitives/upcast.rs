@@ -1,0 +1,211 @@
+//! Pipelined upcast: every node's items flow to the root of its tree,
+//! one item per edge per round — `O(k + height)` rounds for `k` items.
+//!
+//! This is the workhorse of the paper's Step 1 (collecting the `O(√n)`
+//! inter-fragment edges) and of the root-centralized Borůvka iterations of
+//! the MST's second phase.
+
+use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::message::Message;
+use crate::node::{NodeCtx, Port, TreeInfo};
+use crate::primitives::broadcast::StreamMsg;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+
+/// The pipelined upcast phase. Input per node: `(TreeInfo, Vec<T>)`; output:
+/// `Some(all items of the tree)` at each root, `None` elsewhere. Item order
+/// at the root is deterministic but unspecified.
+#[derive(Clone, Debug, Default)]
+pub struct UpcastItems<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> UpcastItems<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        UpcastItems {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Node state for [`UpcastItems`].
+#[derive(Debug)]
+pub struct UpState<T> {
+    tree: TreeInfo,
+    /// Items still to forward to the parent.
+    queue: VecDeque<T>,
+    /// Children that have not yet sent `End`.
+    open_children: usize,
+    /// Root only: everything collected.
+    collected: Vec<T>,
+}
+
+impl<T: Message> Algorithm for UpcastItems<T> {
+    type Input = (TreeInfo, Vec<T>);
+    type State = UpState<T>;
+    type Msg = StreamMsg<T>;
+    type Output = Option<Vec<T>>;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (UpState<T>, Outbox<StreamMsg<T>>) {
+        let open_children = tree.children.len();
+        let is_root = tree.is_root();
+        let state = UpState {
+            tree,
+            queue: if is_root { VecDeque::new() } else { items.clone().into() },
+            open_children,
+            collected: if is_root { items } else { Vec::new() },
+        };
+        (state, Outbox::new())
+    }
+
+    fn round(
+        &self,
+        s: &mut UpState<T>,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(Port, StreamMsg<T>)],
+    ) -> Step<StreamMsg<T>> {
+        let is_root = s.tree.is_root();
+        for (_, msg) in inbox {
+            match msg {
+                StreamMsg::Item(t) => {
+                    if is_root {
+                        s.collected.push(t.clone());
+                    } else {
+                        s.queue.push_back(t.clone());
+                    }
+                }
+                StreamMsg::End => s.open_children -= 1,
+            }
+        }
+        match s.tree.parent {
+            None => {
+                if s.open_children == 0 {
+                    Step::halt()
+                } else {
+                    Step::idle()
+                }
+            }
+            Some(p) => {
+                let mut out = Outbox::new();
+                if let Some(item) = s.queue.pop_front() {
+                    out.send(p, StreamMsg::Item(item));
+                    Step::Continue(out)
+                } else if s.open_children == 0 {
+                    out.send(p, StreamMsg::End);
+                    Step::Halt(out)
+                } else {
+                    Step::idle()
+                }
+            }
+        }
+    }
+
+    fn finish(&self, s: UpState<T>, _ctx: &NodeCtx<'_>) -> Option<Vec<T>> {
+        s.tree.parent.is_none().then_some(s.collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::primitives::leader_bfs::LeaderBfs;
+    use graphs::generators;
+
+    fn bfs_trees(g: &graphs::WeightedGraph, net: &mut Network<'_>) -> Vec<TreeInfo> {
+        net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .unwrap()
+            .outputs
+            .into_iter()
+            .map(|o| o.tree)
+            .collect()
+    }
+
+    #[test]
+    fn collects_everything_at_root() {
+        let g = generators::grid2d(5, 5).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        // Each node contributes its id twice.
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| (t, vec![v as u64, v as u64 + 1000]))
+            .collect();
+        let out = net.run("upcast", &UpcastItems::new(), inputs).unwrap();
+        let mut got = out.outputs[0].clone().expect("root collects");
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..25).flat_map(|v| [v, v + 1000]).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(out.outputs[1..].iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn pipelining_bound_on_path() {
+        // Deep path: k items from the far end must pipeline, not serialize.
+        let n = 30;
+        let g = generators::path(n).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let k = 10;
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| {
+                let items = if v == n - 1 {
+                    (0..k as u64).collect()
+                } else {
+                    vec![]
+                };
+                (t, items)
+            })
+            .collect();
+        let out = net.run("upcast_path", &UpcastItems::new(), inputs).unwrap();
+        assert_eq!(out.outputs[0].as_ref().unwrap().len(), k);
+        let rounds = out.metrics.rounds;
+        assert!(
+            rounds <= (n as u64 - 1) + k as u64 + 3,
+            "rounds = {rounds}, expected ≈ depth + k"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_still_terminate() {
+        let g = generators::star(12).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let inputs: Vec<(TreeInfo, Vec<u64>)> =
+            trees.into_iter().map(|t| (t, vec![])).collect();
+        let out = net.run("upcast_empty", &UpcastItems::new(), inputs).unwrap();
+        assert_eq!(out.outputs[0], Some(vec![]));
+    }
+
+    #[test]
+    fn forest_upcast_collects_per_fragment() {
+        let g = generators::path(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
+            parent: parent.map(Port),
+            children: children.into_iter().map(Port).collect(),
+            depth,
+        };
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = vec![
+            (t(None, vec![0], 0), vec![1]),
+            (t(Some(0), vec![1], 1), vec![2]),
+            (t(Some(0), vec![], 2), vec![3]),
+            (t(None, vec![1], 0), vec![4]),
+            (t(Some(0), vec![1], 1), vec![5]),
+            (t(Some(0), vec![], 2), vec![6]),
+        ];
+        let out = net.run("forest_upcast", &UpcastItems::new(), inputs).unwrap();
+        let mut a = out.outputs[0].clone().unwrap();
+        a.sort_unstable();
+        assert_eq!(a, vec![1, 2, 3]);
+        let mut b = out.outputs[3].clone().unwrap();
+        b.sort_unstable();
+        assert_eq!(b, vec![4, 5, 6]);
+    }
+}

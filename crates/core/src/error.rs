@@ -1,0 +1,72 @@
+//! Crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the min-cut algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinCutError {
+    /// The input graph is not connected — the minimum cut is 0 and the
+    /// algorithms in this crate require connectivity.
+    Disconnected,
+    /// The input graph has fewer than two nodes, so no proper cut exists.
+    TooSmall {
+        /// Number of nodes supplied.
+        nodes: usize,
+    },
+    /// A CONGEST simulation failed (bandwidth violation, livelock, …).
+    Congest(congest::CongestError),
+    /// Invalid configuration.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MinCutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinCutError::Disconnected => {
+                write!(f, "graph is disconnected (minimum cut is trivially 0)")
+            }
+            MinCutError::TooSmall { nodes } => {
+                write!(f, "graph has {nodes} nodes; need at least 2 for a proper cut")
+            }
+            MinCutError::Congest(e) => write!(f, "CONGEST simulation failed: {e}"),
+            MinCutError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for MinCutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MinCutError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<congest::CongestError> for MinCutError {
+    fn from(e: congest::CongestError) -> Self {
+        MinCutError::Congest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MinCutError::Disconnected;
+        assert!(e.to_string().contains("disconnected"));
+        let c: MinCutError = congest::CongestError::MaxRoundsExceeded {
+            phase: "x".into(),
+            cap: 5,
+        }
+        .into();
+        assert!(c.source().is_some());
+        assert!(c.to_string().contains("CONGEST"));
+    }
+}

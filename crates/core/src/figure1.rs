@@ -1,0 +1,188 @@
+//! The paper's Figure 1, reconstructed as a runnable instance.
+//!
+//! The published figure shows a 16-node rooted tree partitioned into four
+//! fragments (labelled (0), (5), (6), (7)), the fragment tree `T_F`, the
+//! ancestor set `A(15)`, merging nodes, `T'_F`, the LCA case analysis, and
+//! the type-(i)/(ii) message classification. The exact drawing is not
+//! recoverable from the text dump of the paper, so this module builds a
+//! faithful 16-node instance that exhibits **every one** of those
+//! structures; `examples/figure1_walkthrough.rs` prints the walkthrough and
+//! `tests/figure1.rs` pins each quantity.
+//!
+//! Tree (rooted at 0):
+//!
+//! ```text
+//!                0
+//!              /   \
+//!             1     2
+//!           /  \     \
+//!          3    4     5
+//!         / \  / \   /  \
+//!        6  7 8   9 10  11
+//!        |  | |   |
+//!       12 13 14 15
+//! ```
+//!
+//! Fragments: `F0 = {0,1,2}` (root 0), `F1 = {3,6,7,12,13}` (root 3),
+//! `F2 = {4,8,9,14,15}` (root 4), `F3 = {5,10,11}` (root 5).
+//!
+//! * `T_F`: F1, F2, F3 are children of F0.
+//! * Merging nodes: 0 (children 1, 2 both lead to fragments) and
+//!   1 (children 3, 4 are fragment roots).
+//! * `T'_F` nodes: {0, 1, 3, 4, 5}; parents: 1→0, 3→1, 4→1, 5→0.
+//! * `A(15) = [15, 9, 4, 1, 0]` — as in the paper's Figure 1(c).
+//!
+//! Non-tree edges exercise the three LCA cases of Step 5:
+//!
+//! * (12, 13): same fragment F1 — **case 1**, LCA 3, type (ii);
+//! * (14, 10): fragments F2/F3, LCA 0 outside both — **case 2**, type (i);
+//! * (12, 15): fragments F1/F2, LCA 1 outside both — **case 2**, type (i);
+//! * (1, 13): LCA 1 lies in endpoint 1's fragment F0 — **case 3**, type (ii);
+//! * (2, 11): LCA 2 in F0 — **case 3**, type (ii).
+
+use graphs::{NodeId, WeightedGraph};
+use trees::decompose::Fragments;
+use trees::RootedTree;
+
+/// The tree edges of the Figure-1 instance (child, parent).
+pub const TREE_EDGES: [(u32, u32); 15] = [
+    (1, 0),
+    (2, 0),
+    (3, 1),
+    (4, 1),
+    (5, 2),
+    (6, 3),
+    (7, 3),
+    (8, 4),
+    (9, 4),
+    (10, 5),
+    (11, 5),
+    (12, 6),
+    (13, 7),
+    (14, 8),
+    (15, 9),
+];
+
+/// The non-tree edges (u, v, weight) exercising the LCA cases.
+pub const EXTRA_EDGES: [(u32, u32, u64); 5] = [
+    (12, 13, 1), // case 1 (same fragment), type (ii) at 3
+    (14, 10, 1), // case 2, type (i) at 0
+    (12, 15, 1), // case 2, type (i) at 1
+    (1, 13, 1),  // case 3, type (ii) at 1
+    (2, 11, 1),  // case 3, type (ii) at 2
+];
+
+/// Fragment label per node (0..=3).
+pub const FRAGMENT_OF: [u32; 16] = [0, 0, 0, 1, 2, 3, 1, 1, 2, 2, 3, 3, 1, 1, 2, 2];
+
+/// The Figure-1 instance bundled together.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The 16-node graph (tree + extra edges, unit weights).
+    pub graph: WeightedGraph,
+    /// The spanning tree of the figure, rooted at node 0.
+    pub tree: RootedTree,
+    /// The fragment decomposition of the figure.
+    pub fragments: Fragments,
+}
+
+impl Figure1 {
+    /// Builds the instance.
+    pub fn build() -> Self {
+        let mut edges: Vec<(u32, u32, u64)> =
+            TREE_EDGES.iter().map(|&(c, p)| (c, p, 1)).collect();
+        edges.extend_from_slice(&EXTRA_EDGES);
+        let graph = WeightedGraph::from_edges(16, edges).expect("figure instance is valid");
+        let pairs: Vec<(NodeId, NodeId)> = TREE_EDGES
+            .iter()
+            .map(|&(c, p)| (NodeId::new(c), NodeId::new(p)))
+            .collect();
+        let tree =
+            RootedTree::from_edges(16, NodeId::new(0), &pairs).expect("figure tree is valid");
+        let fragments = Fragments {
+            label: FRAGMENT_OF.to_vec(),
+            root_of: vec![
+                NodeId::new(0),
+                NodeId::new(3),
+                NodeId::new(4),
+                NodeId::new(5),
+            ],
+            count: 4,
+        };
+        Figure1 {
+            graph,
+            tree,
+            fragments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceStructure;
+
+    #[test]
+    fn structures_match_the_figure() {
+        let f = Figure1::build();
+        let r = ReferenceStructure::new(&f.graph, f.tree.clone(), &f.fragments);
+        // T_F: F1, F2, F3 children of F0.
+        assert_eq!(r.tf_parent, vec![None, Some(0), Some(0), Some(0)]);
+        // Merging nodes exactly {0, 1}.
+        let merging: Vec<usize> = (0..16).filter(|&v| r.merging[v]).collect();
+        assert_eq!(merging, vec![0, 1]);
+        // T'_F nodes and parents.
+        let mut nodes = r.tprime_nodes();
+        nodes.sort_unstable();
+        assert_eq!(
+            nodes,
+            vec![0, 1, 3, 4, 5]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.tprime_parent[&NodeId::new(1)], Some(NodeId::new(0)));
+        assert_eq!(r.tprime_parent[&NodeId::new(3)], Some(NodeId::new(1)));
+        assert_eq!(r.tprime_parent[&NodeId::new(4)], Some(NodeId::new(1)));
+        assert_eq!(r.tprime_parent[&NodeId::new(5)], Some(NodeId::new(0)));
+        assert_eq!(r.tprime_parent[&NodeId::new(0)], None);
+        // A(15) as in the paper's Figure 1(c).
+        assert_eq!(
+            r.a_sets[15],
+            vec![15, 9, 4, 1, 0]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lca_cases_are_as_documented() {
+        let f = Figure1::build();
+        let lca = trees::lca::SparseTableLca::new(&f.tree);
+        let cases = [
+            ((12, 13), 3),
+            ((14, 10), 0),
+            ((12, 15), 1),
+            ((1, 13), 1),
+            ((2, 11), 2),
+        ];
+        for ((u, v), want) in cases {
+            assert_eq!(
+                lca.lca(NodeId::new(u), NodeId::new(v)),
+                NodeId::new(want),
+                "lca({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn karger_identity_on_figure() {
+        let f = Figure1::build();
+        let fast = crate::seq::karger_dp::one_respecting_cuts(&f.graph, &f.tree);
+        let brute = crate::seq::karger_dp::one_respecting_cuts_brute(&f.graph, &f.tree);
+        assert_eq!(fast, brute);
+        // Root subtree is the whole graph.
+        assert_eq!(fast[0], 0);
+    }
+}

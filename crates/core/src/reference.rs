@@ -1,0 +1,330 @@
+//! Sequential mirrors of every structure the distributed algorithm builds —
+//! fragments, the fragment tree `T_F`, ancestor sets `A(v)`, descendant
+//! fragment sets `F(v)`, merging nodes, `T'_F`, and the `δ↓`/`ρ↓`
+//! aggregates. These are the test oracles for Steps 1–5 of the paper.
+//!
+//! Definitions (paper, Section 2):
+//!
+//! * fragments `F₁ … F_k`: vertex-disjoint connected subtrees covering `T`;
+//!   the **fragment root** `rᵢ` is the node of `Fᵢ` closest to `T`'s root;
+//! * `T_F`: the tree obtained by contracting fragments;
+//! * `F(v)`: the fragments fully contained in `v↓` — equivalently the
+//!   fragments whose root lies in `v↓`;
+//! * `A(v)`: `v` plus `v`'s ancestors lying in `v`'s own fragment or its
+//!   parent fragment (`|A(v)| = O(√n)` by the diameter bound);
+//! * merging node: a node with two distinct children `x`, `y` such that both
+//!   `x↓` and `y↓` contain fragments;
+//! * `T'_F`: the tree on fragment roots ∪ merging nodes, with parent = the
+//!   lowest proper ancestor that is itself in `T'_F`.
+
+use graphs::{NodeId, Weight, WeightedGraph};
+use std::collections::HashMap;
+use trees::decompose::Fragments;
+use trees::lca::SparseTableLca;
+use trees::subtree::{subtree_sums, SubtreeIntervals};
+use trees::RootedTree;
+
+/// All fragment-level structures of one (tree, fragmentation) pair.
+#[derive(Clone, Debug)]
+pub struct ReferenceStructure {
+    /// The rooted spanning tree `T`.
+    pub tree: RootedTree,
+    /// `frag_of[v]` — fragment index of `v`.
+    pub frag_of: Vec<u32>,
+    /// Fragment roots, indexed by fragment.
+    pub frag_roots: Vec<NodeId>,
+    /// Parent fragment in `T_F` (`None` for the root fragment).
+    pub tf_parent: Vec<Option<u32>>,
+    /// `F(v)`: sorted fragment indices fully contained in `v↓`.
+    pub f_sets: Vec<Vec<u32>>,
+    /// `A(v)`: `v` followed by its ancestors in own/parent fragment,
+    /// in walking order (v first).
+    pub a_sets: Vec<Vec<NodeId>>,
+    /// Merging-node indicator.
+    pub merging: Vec<bool>,
+    /// Parent in `T'_F` for every `T'_F` node (fragment roots and merging
+    /// nodes); `None` for the global root.
+    pub tprime_parent: HashMap<NodeId, Option<NodeId>>,
+    /// `δ↓(v)` per node.
+    pub delta_down: Vec<Weight>,
+    /// `ρ↓(v)` per node.
+    pub rho_down: Vec<Weight>,
+    /// `C(v↓)` per node (`δ↓ − 2ρ↓`).
+    pub cuts: Vec<Weight>,
+}
+
+impl ReferenceStructure {
+    /// Builds every structure for graph `g`, spanning tree `tree`, and the
+    /// given fragment decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragmentation is inconsistent with the tree (labels
+    /// out of range, fragments not connected, wrong root).
+    pub fn new(g: &WeightedGraph, tree: RootedTree, fragments: &Fragments) -> Self {
+        let n = tree.len();
+        assert_eq!(g.node_count(), n, "graph and tree sizes must match");
+        assert_eq!(fragments.label.len(), n, "one fragment label per node");
+        let frag_of = fragments.label.clone();
+        let _k = fragments.count;
+        let frag_roots = fragments.root_of.clone();
+        // Validate roots: a fragment root's parent (if any) is in another
+        // fragment; every non-root node's parent in the same fragment chain
+        // reaches the root.
+        for (i, &r) in frag_roots.iter().enumerate() {
+            assert_eq!(frag_of[r.index()] as usize, i, "root label mismatch");
+            if let Some(p) = tree.parent(r) {
+                assert_ne!(
+                    frag_of[p.index()] as usize,
+                    i,
+                    "fragment root's parent must lie outside the fragment"
+                );
+            }
+        }
+
+        // T_F parents.
+        let tf_parent: Vec<Option<u32>> = frag_roots
+            .iter()
+            .map(|&r| tree.parent(r).map(|p| frag_of[p.index()]))
+            .collect();
+
+        // F(v): fragments whose root lies in v↓.
+        let iv = SubtreeIntervals::new(&tree);
+        let mut f_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let v_id = NodeId::from_index(v);
+            for (fi, &r) in frag_roots.iter().enumerate() {
+                if iv.is_ancestor(v_id, r) {
+                    f_sets[v].push(fi as u32);
+                }
+            }
+        }
+
+        // A(v): v plus ancestors in own or parent fragment.
+        let mut a_sets: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let v_id = NodeId::from_index(v);
+            let own = frag_of[v];
+            let parent_frag = tf_parent[own as usize];
+            let mut list = Vec::new();
+            for a in tree.ancestors(v_id) {
+                let fa = frag_of[a.index()];
+                if fa == own || Some(fa) == parent_frag {
+                    list.push(a);
+                } else {
+                    break;
+                }
+            }
+            a_sets.push(list);
+        }
+
+        // Merging nodes.
+        let mut merging = vec![false; n];
+        for v in 0..n {
+            let v_id = NodeId::from_index(v);
+            let children_with_frags = tree
+                .children(v_id)
+                .iter()
+                .filter(|c| !f_sets[c.index()].is_empty())
+                .count();
+            merging[v] = children_with_frags >= 2;
+        }
+
+        // T'_F: fragment roots ∪ merging nodes; parent = lowest proper
+        // ancestor in T'_F.
+        let mut in_tprime = vec![false; n];
+        for &r in &frag_roots {
+            in_tprime[r.index()] = true;
+        }
+        for v in 0..n {
+            if merging[v] {
+                in_tprime[v] = true;
+            }
+        }
+        let mut tprime_parent = HashMap::new();
+        for v in 0..n {
+            if !in_tprime[v] {
+                continue;
+            }
+            let v_id = NodeId::from_index(v);
+            let mut anc = tree.parent(v_id);
+            while let Some(a) = anc {
+                if in_tprime[a.index()] {
+                    break;
+                }
+                anc = tree.parent(a);
+            }
+            tprime_parent.insert(v_id, anc);
+        }
+
+        // δ↓, ρ↓, cuts.
+        let delta: Vec<u64> = g.nodes().map(|v| g.weighted_degree(v)).collect();
+        let lca = SparseTableLca::new(&tree);
+        let mut rho = vec![0u64; n];
+        for (_, x, y, w) in g.edge_tuples() {
+            rho[lca.lca(x, y).index()] += w;
+        }
+        let delta_down = subtree_sums(&tree, &delta);
+        let rho_down = subtree_sums(&tree, &rho);
+        let cuts = (0..n).map(|v| delta_down[v] - 2 * rho_down[v]).collect();
+
+        ReferenceStructure {
+            tree,
+            frag_of,
+            frag_roots,
+            tf_parent,
+            f_sets,
+            a_sets,
+            merging,
+            tprime_parent,
+            delta_down,
+            rho_down,
+            cuts,
+        }
+    }
+
+    /// Fragment count.
+    pub fn fragment_count(&self) -> usize {
+        self.frag_roots.len()
+    }
+
+    /// `δ(Fᵢ)` for every fragment: sum of weighted degrees of its members.
+    pub fn fragment_degree_sums(&self, g: &WeightedGraph) -> Vec<Weight> {
+        let mut out = vec![0; self.fragment_count()];
+        for v in g.nodes() {
+            out[self.frag_of[v.index()] as usize] += g.weighted_degree(v);
+        }
+        out
+    }
+
+    /// The nodes of `T'_F`, sorted.
+    pub fn tprime_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.tprime_parent.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trees::decompose::decompose;
+    use trees::spanning::{random_spanning_edges, to_rooted};
+
+    fn build(n: usize, p: f64, s: usize, seed: u64) -> (WeightedGraph, ReferenceStructure) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, p, &mut rng).unwrap();
+        let edges = random_spanning_edges(&g, &mut rng);
+        let tree = to_rooted(&g, &edges, NodeId::new(0)).unwrap();
+        let frags = decompose(&tree, s);
+        let r = ReferenceStructure::new(&g, tree, &frags);
+        (g, r)
+    }
+
+    #[test]
+    fn f_sets_contain_own_fragment_at_roots() {
+        let (_, r) = build(60, 0.08, 8, 3);
+        for (fi, &root) in r.frag_roots.iter().enumerate() {
+            assert!(
+                r.f_sets[root.index()].contains(&(fi as u32)),
+                "fragment {fi} not in F(root)"
+            );
+        }
+        // Global root sees every fragment.
+        assert_eq!(
+            r.f_sets[r.tree.root().index()].len(),
+            r.fragment_count()
+        );
+    }
+
+    #[test]
+    fn a_sets_start_at_v_and_walk_upward_within_two_fragments() {
+        let (_, r) = build(60, 0.08, 8, 4);
+        for v in 0..60 {
+            let a = &r.a_sets[v];
+            assert_eq!(a[0], NodeId::from_index(v));
+            let own = r.frag_of[v];
+            let pf = r.tf_parent[own as usize];
+            for x in a {
+                let fx = r.frag_of[x.index()];
+                assert!(fx == own || Some(fx) == pf);
+            }
+            // Consecutive entries are parent links.
+            for w in a.windows(2) {
+                assert_eq!(r.tree.parent(w[0]), Some(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn tf_is_a_tree_on_fragments() {
+        let (_, r) = build(80, 0.06, 9, 5);
+        let k = r.fragment_count();
+        let root_frags: Vec<usize> = (0..k).filter(|&f| r.tf_parent[f].is_none()).collect();
+        assert_eq!(root_frags.len(), 1);
+        assert_eq!(r.frag_roots[root_frags[0]], r.tree.root());
+        // Walking tf_parent terminates (no cycles).
+        for f in 0..k {
+            let mut cur = Some(f as u32);
+            let mut steps = 0;
+            while let Some(c) = cur {
+                cur = r.tf_parent[c as usize];
+                steps += 1;
+                assert!(steps <= k, "cycle in T_F");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_nodes_have_two_fragmentful_children() {
+        let (_, r) = build(100, 0.05, 10, 6);
+        for v in 0..100 {
+            if r.merging[v] {
+                let v_id = NodeId::from_index(v);
+                let c = r
+                    .tree
+                    .children(v_id)
+                    .iter()
+                    .filter(|c| !r.f_sets[c.index()].is_empty())
+                    .count();
+                assert!(c >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn tprime_contains_roots_and_merging_nodes_with_valid_parents() {
+        let (_, r) = build(100, 0.05, 10, 7);
+        let nodes = r.tprime_nodes();
+        for &root in &r.frag_roots {
+            assert!(nodes.contains(&root));
+        }
+        // Parent of every T'_F node is a proper ancestor in T'_F.
+        let iv = SubtreeIntervals::new(&r.tree);
+        for (&v, &p) in &r.tprime_parent {
+            if let Some(p) = p {
+                assert!(iv.is_ancestor(p, v) && p != v);
+                assert!(r.tprime_parent.contains_key(&p));
+            } else {
+                assert_eq!(v, r.tree.root());
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_match_karger_dp() {
+        let (g, r) = build(70, 0.07, 8, 8);
+        let cuts = crate::seq::karger_dp::one_respecting_cuts(&g, &r.tree);
+        assert_eq!(cuts, r.cuts);
+    }
+
+    #[test]
+    fn fragment_degree_sums_total_is_twice_weight() {
+        let (g, r) = build(50, 0.1, 7, 9);
+        let sums = r.fragment_degree_sums(&g);
+        assert_eq!(sums.iter().sum::<u64>(), 2 * g.total_weight());
+    }
+}

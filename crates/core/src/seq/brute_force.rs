@@ -1,0 +1,107 @@
+//! Exhaustive minimum cut for tiny graphs — the ground-truth oracle used to
+//! validate every other algorithm on small instances.
+
+use crate::MinCutError;
+use graphs::{CutResult, Weight, WeightedGraph};
+
+/// Maximum node count [`mincut_brute`] accepts (2^23 subsets ≈ 8M edge
+/// scans per edge — still fast, beyond that it is pointless).
+pub const MAX_BRUTE_NODES: usize = 24;
+
+/// Exhaustive minimum cut: tries all `2^{n−1} − 1` proper bipartitions
+/// (node 0 fixed on the `false` side by symmetry).
+///
+/// # Errors
+///
+/// Returns [`MinCutError::TooSmall`] for `n < 2`,
+/// [`MinCutError::InvalidConfig`] for `n >` [`MAX_BRUTE_NODES`], and
+/// [`MinCutError::Disconnected`] for disconnected graphs.
+pub fn mincut_brute(g: &WeightedGraph) -> Result<CutResult, MinCutError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(MinCutError::TooSmall { nodes: n });
+    }
+    if n > MAX_BRUTE_NODES {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!("brute force limited to {MAX_BRUTE_NODES} nodes, got {n}"),
+        });
+    }
+    if !graphs::traversal::is_connected(g) {
+        return Err(MinCutError::Disconnected);
+    }
+    // Precompute endpoint bit positions.
+    let edges: Vec<(u32, u32, Weight)> = g
+        .edge_tuples()
+        .map(|(_, u, v, w)| (u.raw(), v.raw(), w))
+        .collect();
+    let mut best_value = Weight::MAX;
+    let mut best_mask: u32 = 0;
+    // Mask over nodes 1..n (node 0 always on the false side).
+    let top = 1u32 << (n - 1);
+    for mask in 1..top {
+        let side_bit = |v: u32| -> bool { v != 0 && (mask >> (v - 1)) & 1 == 1 };
+        let mut value = 0;
+        for &(u, v, w) in &edges {
+            if side_bit(u) != side_bit(v) {
+                value += w;
+                if value >= best_value {
+                    break;
+                }
+            }
+        }
+        if value < best_value {
+            best_value = value;
+            best_mask = mask;
+        }
+    }
+    let side: Vec<bool> = (0..n as u32)
+        .map(|v| v != 0 && (best_mask >> (v - 1)) & 1 == 1)
+        .collect();
+    Ok(CutResult {
+        side,
+        value: best_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::stoer_wagner::stoer_wagner;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_stoer_wagner_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in [2usize, 3, 5, 8, 12] {
+            for _ in 0..4 {
+                let base = generators::erdos_renyi_connected(n, 0.5, &mut rng).unwrap();
+                let g = generators::randomize_weights(&base, 1, 7, &mut rng).unwrap();
+                let b = mincut_brute(&g).unwrap();
+                let s = stoer_wagner(&g).unwrap();
+                assert_eq!(b.value, s.value, "n = {n}");
+                assert_eq!(graphs::cut::cut_of_side(&g, &b.side), b.value);
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let c = generators::cycle(6).unwrap();
+        assert_eq!(mincut_brute(&c).unwrap().value, 2);
+        let p = generators::clique_pair(5, 2).unwrap();
+        assert_eq!(mincut_brute(&p.graph).unwrap().value, 2);
+    }
+
+    #[test]
+    fn guards() {
+        let big = generators::cycle(30).unwrap();
+        assert!(matches!(
+            mincut_brute(&big),
+            Err(MinCutError::InvalidConfig { .. })
+        ));
+        let tiny = graphs::WeightedGraph::from_edges(1, []).unwrap();
+        assert!(matches!(mincut_brute(&tiny), Err(MinCutError::TooSmall { .. })));
+    }
+}

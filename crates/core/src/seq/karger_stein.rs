@@ -1,0 +1,228 @@
+//! Karger's randomized contraction and the Karger–Stein recursive variant.
+//!
+//! Used as a scalable randomized oracle (Stoer–Wagner is `O(n·m)`-ish;
+//! Karger–Stein repeated `O(log² n)` times finds the minimum cut with high
+//! probability and is much faster on large sparse graphs).
+
+use crate::MinCutError;
+use graphs::{CutResult, Weight, WeightedGraph};
+use rand::Rng;
+use trees::DisjointSets;
+
+/// Internal working form: edge list + DSU over original nodes.
+#[derive(Clone)]
+struct ContractState {
+    /// `(u, v, w)` with `u`, `v` original node ids; self loops are purged by
+    /// [`ContractState::compact`].
+    edges: Vec<(u32, u32, Weight)>,
+    dsu: DisjointSets,
+    super_nodes: usize,
+}
+
+impl ContractState {
+    fn new(g: &WeightedGraph) -> Self {
+        ContractState {
+            edges: g
+                .edge_tuples()
+                .map(|(_, u, v, w)| (u.raw(), v.raw(), w))
+                .collect(),
+            dsu: DisjointSets::new(g.node_count()),
+            super_nodes: g.node_count(),
+        }
+    }
+
+    /// Drops edges whose endpoints were merged (self loops of the
+    /// contracted multigraph).
+    fn compact(&mut self) {
+        let dsu = &mut self.dsu;
+        self.edges
+            .retain(|&(u, v, _)| dsu.find(u as usize) != dsu.find(v as usize));
+    }
+
+    /// Contracts weight-proportional random edges until `target` super
+    /// nodes remain.
+    fn contract_to<R: Rng>(&mut self, target: usize, rng: &mut R) {
+        while self.super_nodes > target {
+            self.compact();
+            if self.edges.is_empty() {
+                return; // disconnected remainder; caller handles
+            }
+            let total: u128 = self.edges.iter().map(|&(_, _, w)| w as u128).sum();
+            let mut r = rng.gen_range(0..total);
+            let mut pick = 0;
+            for (i, &(_, _, w)) in self.edges.iter().enumerate() {
+                let w = w as u128;
+                if r < w {
+                    pick = i;
+                    break;
+                }
+                r -= w;
+            }
+            let (u, v, _) = self.edges[pick];
+            if self.dsu.union(u as usize, v as usize) {
+                self.super_nodes -= 1;
+            }
+        }
+        self.compact();
+    }
+
+    /// Value of the cut defined by the current super-node partition
+    /// (meaningful when exactly two super nodes remain).
+    fn two_way_value(&mut self) -> Weight {
+        let dsu = &mut self.dsu;
+        let mut total = 0;
+        for &(u, v, w) in &self.edges {
+            if dsu.find(u as usize) != dsu.find(v as usize) {
+                total += w;
+            }
+        }
+        total
+    }
+
+    /// Side bitmap: nodes not in node 0's super node.
+    fn side(&mut self, n: usize) -> Vec<bool> {
+        let r0 = self.dsu.find(0);
+        (0..n).map(|v| self.dsu.find(v) != r0).collect()
+    }
+}
+
+/// One run of plain Karger contraction down to two super nodes.
+/// Succeeds with probability `Ω(1/n²)`; use [`karger_stein_repeated`] for
+/// high-probability results.
+///
+/// # Errors
+///
+/// [`MinCutError::TooSmall`] / [`MinCutError::Disconnected`] as usual.
+pub fn karger_contract<R: Rng>(g: &WeightedGraph, rng: &mut R) -> Result<CutResult, MinCutError> {
+    check(g)?;
+    let mut st = ContractState::new(g);
+    st.contract_to(2, rng);
+    let value = st.two_way_value();
+    let side = st.side(g.node_count());
+    Ok(CutResult { side, value })
+}
+
+/// One Karger–Stein recursive run: contract to `⌈n/√2⌉ + 1`, recurse twice,
+/// keep the better result. Success probability `Ω(1/log n)`.
+///
+/// # Errors
+///
+/// [`MinCutError::TooSmall`] / [`MinCutError::Disconnected`] as usual.
+pub fn karger_stein<R: Rng>(g: &WeightedGraph, rng: &mut R) -> Result<CutResult, MinCutError> {
+    check(g)?;
+    let mut st = ContractState::new(g);
+    let mut best: Option<(Weight, Vec<bool>)> = None;
+    recurse(&mut st, g.node_count(), rng, &mut best);
+    let (value, side) = best.expect("recursion always yields a candidate");
+    Ok(CutResult { side, value })
+}
+
+fn recurse<R: Rng>(
+    st: &mut ContractState,
+    n: usize,
+    rng: &mut R,
+    best: &mut Option<(Weight, Vec<bool>)>,
+) {
+    if st.super_nodes <= 6 {
+        let mut leaf = st.clone();
+        leaf.contract_to(2, rng);
+        consider(leaf, n, best);
+        return;
+    }
+    let target = (st.super_nodes as f64 / std::f64::consts::SQRT_2).ceil() as usize + 1;
+    for _ in 0..2 {
+        let mut child = st.clone();
+        child.contract_to(target, rng);
+        recurse(&mut child, n, rng, best);
+    }
+}
+
+fn consider(mut st: ContractState, n: usize, best: &mut Option<(Weight, Vec<bool>)>) {
+    let value = st.two_way_value();
+    if best.as_ref().is_none_or(|(b, _)| value < *b) {
+        *best = Some((value, st.side(n)));
+    }
+}
+
+/// Repeats [`karger_stein`] `runs` times and returns the best cut — with
+/// `runs = Θ(log² n)` the result is the true minimum with high probability.
+///
+/// # Errors
+///
+/// [`MinCutError::TooSmall`] / [`MinCutError::Disconnected`] as usual.
+pub fn karger_stein_repeated<R: Rng>(
+    g: &WeightedGraph,
+    runs: usize,
+    rng: &mut R,
+) -> Result<CutResult, MinCutError> {
+    check(g)?;
+    let mut best: Option<CutResult> = None;
+    for _ in 0..runs.max(1) {
+        let r = karger_stein(g, rng)?;
+        if best.as_ref().is_none_or(|b| r.value < b.value) {
+            best = Some(r);
+        }
+    }
+    Ok(best.expect("at least one run"))
+}
+
+fn check(g: &WeightedGraph) -> Result<(), MinCutError> {
+    if g.node_count() < 2 {
+        return Err(MinCutError::TooSmall {
+            nodes: g.node_count(),
+        });
+    }
+    if !graphs::traversal::is_connected(g) {
+        return Err(MinCutError::Disconnected);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::stoer_wagner::stoer_wagner;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repeated_ks_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [6usize, 12, 24] {
+            let base = generators::erdos_renyi_connected(n, 0.4, &mut rng).unwrap();
+            let g = generators::randomize_weights(&base, 1, 5, &mut rng).unwrap();
+            let want = stoer_wagner(&g).unwrap().value;
+            let got = karger_stein_repeated(&g, 20, &mut rng).unwrap();
+            assert_eq!(got.value, want, "n = {n}");
+            assert_eq!(graphs::cut::cut_of_side(&g, &got.side), got.value);
+        }
+    }
+
+    #[test]
+    fn single_contract_returns_valid_cut() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::clique_pair(6, 2).unwrap().graph;
+        let r = karger_contract(&g, &mut rng).unwrap();
+        assert!(r.is_proper());
+        assert_eq!(graphs::cut::cut_of_side(&g, &r.side), r.value);
+        assert!(r.value >= 2);
+    }
+
+    #[test]
+    fn finds_planted_cut_with_repeats() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = generators::clique_pair(8, 2).unwrap();
+        let r = karger_stein_repeated(&p.graph, 16, &mut rng).unwrap();
+        assert_eq!(r.value, 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tiny = graphs::WeightedGraph::from_edges(1, []).unwrap();
+        assert!(karger_stein(&tiny, &mut rng).is_err());
+        let disc = graphs::WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert!(karger_contract(&disc, &mut rng).is_err());
+    }
+}

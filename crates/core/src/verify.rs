@@ -1,0 +1,113 @@
+//! Independent verification helpers: re-evaluate cuts, check invariants.
+
+use crate::MinCutError;
+use graphs::{CutResult, Weight, WeightedGraph};
+
+/// Re-evaluates `cut.side` against `g` and checks the recorded value and
+/// properness.
+///
+/// # Errors
+///
+/// Returns [`MinCutError::InvalidConfig`] describing the first violated
+/// invariant.
+pub fn check_cut(g: &WeightedGraph, cut: &CutResult) -> Result<(), MinCutError> {
+    if cut.side.len() != g.node_count() {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!(
+                "side bitmap has {} entries for {} nodes",
+                cut.side.len(),
+                g.node_count()
+            ),
+        });
+    }
+    if !cut.is_proper() {
+        return Err(MinCutError::InvalidConfig {
+            reason: "cut is not proper (one side is empty)".to_string(),
+        });
+    }
+    let actual = graphs::cut::cut_of_side(g, &cut.side);
+    if actual != cut.value {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!("recorded value {} but side evaluates to {actual}", cut.value),
+        });
+    }
+    Ok(())
+}
+
+/// Checks an approximation claim: `cut` must be a valid cut with
+/// `optimum ≤ cut.value ≤ (1+eps)·optimum`.
+///
+/// # Errors
+///
+/// [`MinCutError::InvalidConfig`] when the claim fails.
+pub fn check_approximation(
+    g: &WeightedGraph,
+    cut: &CutResult,
+    optimum: Weight,
+    eps: f64,
+) -> Result<(), MinCutError> {
+    check_cut(g, cut)?;
+    if cut.value < optimum {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!("cut value {} below the optimum {optimum}", cut.value),
+        });
+    }
+    let bound = (optimum as f64) * (1.0 + eps);
+    if cut.value as f64 > bound + 1e-9 {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!(
+                "cut value {} exceeds (1+{eps})·{optimum} = {bound:.3}",
+                cut.value
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+
+    #[test]
+    fn accepts_valid_cut() {
+        let p = generators::clique_pair(5, 2).unwrap();
+        let cut = CutResult {
+            side: p.side.clone(),
+            value: 2,
+        };
+        assert!(check_cut(&p.graph, &cut).is_ok());
+        assert!(check_approximation(&p.graph, &cut, 2, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_value() {
+        let p = generators::clique_pair(5, 2).unwrap();
+        let cut = CutResult {
+            side: p.side.clone(),
+            value: 3,
+        };
+        assert!(check_cut(&p.graph, &cut).is_err());
+    }
+
+    #[test]
+    fn rejects_improper() {
+        let g = generators::cycle(4).unwrap();
+        let cut = CutResult {
+            side: vec![false; 4],
+            value: 0,
+        };
+        assert!(check_cut(&g, &cut).is_err());
+    }
+
+    #[test]
+    fn approximation_bounds() {
+        let g = generators::cycle(6).unwrap();
+        let mut side = vec![false; 6];
+        side[0] = true; // singleton: value 2 = optimum
+        let cut = CutResult { side, value: 2 };
+        assert!(check_approximation(&g, &cut, 2, 0.0).is_ok());
+        assert!(check_approximation(&g, &cut, 1, 0.5).is_err()); // 2 > 1.5
+        assert!(check_approximation(&g, &cut, 3, 0.5).is_err()); // below optimum
+    }
+}

@@ -1,0 +1,108 @@
+//! Das-Sarma-style lower-bound instances.
+//!
+//! Das Sarma et al. [SICOMP 2013] prove that distributed min-cut (even
+//! approximately) needs `Ω̃(√n + D)` rounds, using graphs made of `Γ` long
+//! parallel paths stitched together by a shallow tree so that the diameter
+//! is only `O(log n)` while information still has to travel across `Θ(ℓ)`
+//! path hops or be funneled through the tree.
+//!
+//! We reproduce the *shape* of that construction (paths + balanced binary
+//! tree over the columns). The experiment E5 uses it to show measured round
+//! counts track `√n + D` on the family the lower bound is built from.
+
+use super::{invalid, GeneratorError};
+use crate::WeightedGraph;
+
+/// Builds a Das-Sarma-style instance: `gamma` disjoint paths of `ell` nodes
+/// each, plus a complete binary tree whose `ell` leaves connect to the
+/// corresponding column in every path. All weights are 1.
+///
+/// Properties: `n = gamma·ell + (2·ell − 1)`, diameter `O(log ell)` via the
+/// tree, and `Θ(gamma·ell)` nodes — so `√n ≫ D`, the regime where the
+/// `Ω̃(√n)` term of the lower bound dominates.
+///
+/// # Errors
+///
+/// Fails unless `gamma ≥ 1` and `ell ≥ 2` and `ell` is a power of two.
+pub fn das_sarma_style(gamma: usize, ell: usize) -> Result<WeightedGraph, GeneratorError> {
+    if gamma == 0 {
+        return Err(invalid("need at least one path"));
+    }
+    if ell < 2 || !ell.is_power_of_two() {
+        return Err(invalid("ell must be a power of two ≥ 2"));
+    }
+    // Layout: paths occupy indices [0, gamma·ell); the tree occupies
+    // [gamma·ell, gamma·ell + 2·ell − 1) in heap order (root first).
+    let path_nodes = gamma * ell;
+    let tree_nodes = 2 * ell - 1;
+    let n = path_nodes + tree_nodes;
+    let tree_base = path_nodes as u32;
+    let mut edges = Vec::new();
+    // Path edges.
+    for p in 0..gamma {
+        for c in 0..ell - 1 {
+            let a = (p * ell + c) as u32;
+            edges.push((a, a + 1, 1));
+        }
+    }
+    // Tree edges (heap order: children of i are 2i+1, 2i+2).
+    for i in 0..tree_nodes {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < tree_nodes {
+                edges.push((tree_base + i as u32, tree_base + child as u32, 1));
+            }
+        }
+    }
+    // Leaf j (heap index ell−1+j) connects to column j of every path.
+    for j in 0..ell {
+        let leaf = tree_base + (ell - 1 + j) as u32;
+        for p in 0..gamma {
+            edges.push((leaf, (p * ell + j) as u32, 1));
+        }
+    }
+    Ok(WeightedGraph::from_edges(n, edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_connected;
+    use crate::traversal::exact_diameter;
+
+    #[test]
+    fn shape_and_size() {
+        let g = das_sarma_style(4, 8).unwrap();
+        assert_eq!(g.node_count(), 4 * 8 + 15);
+        assert_connected(&g);
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Paths of length 16 would have diameter 15 alone; the tree collapses
+        // it to O(log ell).
+        let g = das_sarma_style(4, 16, ).unwrap();
+        let d = exact_diameter(&g);
+        assert!(d <= 2 + 2 * 5, "diameter {d} too large");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(das_sarma_style(0, 8).is_err());
+        assert!(das_sarma_style(2, 6).is_err());
+        assert!(das_sarma_style(2, 1).is_err());
+    }
+
+    #[test]
+    fn columns_attach_to_leaves() {
+        let g = das_sarma_style(2, 4).unwrap();
+        // Leaf for column 0 is tree heap index 3 → node 8 + 3 = 11.
+        let leaf0 = crate::NodeId::new(2 * 4 + 3);
+        let nbrs: Vec<u32> = g
+            .neighbors(leaf0)
+            .iter()
+            .map(|a| a.neighbor.raw())
+            .collect();
+        assert!(nbrs.contains(&0)); // path 0, column 0
+        assert!(nbrs.contains(&4)); // path 1, column 0
+    }
+}

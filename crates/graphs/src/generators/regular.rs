@@ -1,0 +1,207 @@
+//! Random `d`-regular graphs via the configuration model with edge-swap
+//! repair.
+//!
+//! For `d ≥ 3` these are expanders with high probability, which makes them
+//! the "hard internal structure" used inside planted-cut instances and the
+//! high-connectivity workloads of the experiment suite.
+//!
+//! Rejecting the whole pairing until it is simple only works for tiny `d`
+//! (the success probability decays like `e^{-Θ(d²)}`), so after the initial
+//! random pairing we repair self loops and duplicate edges by degree-
+//! preserving edge swaps — the standard practical method.
+
+use super::{invalid, GeneratorError};
+use crate::WeightedGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Generates a random simple `d`-regular graph on `n` nodes with unit
+/// weights.
+///
+/// # Errors
+///
+/// Fails if `n·d` is odd, `d ≥ n`, or repair does not converge within the
+/// (generous) step budget — which for `d < n/3` does not happen in practice.
+pub fn random_regular<R: Rng>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<WeightedGraph, GeneratorError> {
+    if n == 0 {
+        return Err(invalid("regular graph requires n ≥ 1"));
+    }
+    if d >= n {
+        return Err(invalid(format!("degree d = {d} must be < n = {n}")));
+    }
+    if (n * d) % 2 != 0 {
+        return Err(invalid("n·d must be even"));
+    }
+    if d == 0 {
+        return Ok(WeightedGraph::from_edges(n, [])?);
+    }
+
+    const RESTARTS: usize = 20;
+    for _ in 0..RESTARTS {
+        if let Some(edges) = pair_and_repair(n, d, rng) {
+            let g = WeightedGraph::from_edges(
+                n,
+                edges.into_iter().map(|(u, v)| (u, v, 1)),
+            )?;
+            debug_assert!(g.nodes().all(|v| g.degree(v) == d));
+            return Ok(g);
+        }
+    }
+    Err(invalid(format!(
+        "failed to generate simple {d}-regular graph on {n} nodes within retry budget"
+    )))
+}
+
+fn canon(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// One attempt: random stub pairing followed by edge-swap repair. Returns
+/// the simple edge list or `None` if the swap budget is exhausted.
+fn pair_and_repair<R: Rng>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(u32, u32)>> {
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for v in 0..n as u32 {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    stubs.shuffle(rng);
+    let m = stubs.len() / 2;
+    let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| canon(p[0], p[1])).collect();
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::with_capacity(m);
+    for &e in &edges {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let is_bad = |e: (u32, u32), counts: &HashMap<(u32, u32), u32>| {
+        e.0 == e.1 || counts.get(&e).copied().unwrap_or(0) > 1
+    };
+
+    let budget = 200 * m + 1000;
+    let mut steps = 0;
+    loop {
+        // Collect currently-bad edge positions.
+        let bad: Vec<usize> = (0..m).filter(|&i| is_bad(edges[i], &counts)).collect();
+        if bad.is_empty() {
+            return Some(edges);
+        }
+        for &i in &bad {
+            if !is_bad(edges[i], &counts) {
+                continue; // fixed by an earlier swap this sweep
+            }
+            steps += 1;
+            if steps > budget {
+                return None;
+            }
+            let j = rng.gen_range(0..m);
+            if j == i {
+                continue;
+            }
+            let (u, v) = edges[i];
+            let (x, y) = edges[j];
+            // Two possible rewirings; try them in random order.
+            let first = rng.gen_bool(0.5);
+            let options = if first {
+                [((u, x), (v, y)), ((u, y), (v, x))]
+            } else {
+                [((u, y), (v, x)), ((u, x), (v, y))]
+            };
+            for ((a1, b1), (a2, b2)) in options {
+                if a1 == b1 || a2 == b2 {
+                    continue; // would create a self loop
+                }
+                let e1 = canon(a1, b1);
+                let e2 = canon(a2, b2);
+                // New edges must not already exist (and must not duplicate
+                // each other).
+                let exists = |e: (u32, u32)| counts.get(&e).copied().unwrap_or(0) > 0;
+                if exists(e1) || exists(e2) || e1 == e2 {
+                    continue;
+                }
+                // Apply the swap.
+                for old in [edges[i], edges[j]] {
+                    let c = counts.get_mut(&old).expect("old edge counted");
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&old);
+                    }
+                }
+                edges[i] = e1;
+                edges[j] = e2;
+                *counts.entry(e1).or_insert(0) += 1;
+                *counts.entry(e2).or_insert(0) += 1;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_regular_graph() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = random_regular(50, 4, &mut rng).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 100);
+    }
+
+    #[test]
+    fn three_regular_is_usually_connected() {
+        // Random 3-regular graphs are connected whp; check a few seeds.
+        let mut connected = 0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_regular(64, 3, &mut rng).unwrap();
+            if crate::traversal::is_connected(&g) {
+                connected += 1;
+            }
+        }
+        assert!(connected >= 4, "only {connected}/5 connected");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_regular(5, 3, &mut rng).is_err()); // odd n·d
+        assert!(random_regular(4, 4, &mut rng).is_err()); // d ≥ n
+        assert!(random_regular(0, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_regular_is_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_regular(6, 0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn dense_regular_also_works() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = random_regular(16, 8, &mut rng).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 8));
+        assert_connected(&g);
+    }
+
+    #[test]
+    fn high_degree_medium_n() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for d in [3, 5, 6, 10, 12] {
+            let g = random_regular(40, d, &mut rng).unwrap();
+            assert!(g.nodes().all(|v| g.degree(v) == d), "d = {d}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Weight randomisation for existing topologies.
+
+use super::{invalid, GeneratorError};
+use crate::{Weight, WeightedGraph};
+use rand::Rng;
+
+/// Returns a graph with the same topology but each edge weight drawn
+/// uniformly from `[lo, hi]`.
+///
+/// # Errors
+///
+/// Fails if `lo == 0` or `lo > hi`.
+pub fn randomize_weights<R: Rng>(
+    g: &WeightedGraph,
+    lo: Weight,
+    hi: Weight,
+    rng: &mut R,
+) -> Result<WeightedGraph, GeneratorError> {
+    if lo == 0 {
+        return Err(invalid("weights must be positive"));
+    }
+    if lo > hi {
+        return Err(invalid("lo must not exceed hi"));
+    }
+    let edges = g
+        .edge_tuples()
+        .map(|(_, u, v, _)| (u.raw(), v.raw(), rng.gen_range(lo..=hi)));
+    Ok(WeightedGraph::from_edges(g.node_count(), edges)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_in_range_topology_preserved() {
+        let base = crate::generators::structured::grid2d(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = randomize_weights(&base, 3, 9, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), base.edge_count());
+        for (e, u, v, w) in g.edge_tuples() {
+            assert!((3..=9).contains(&w), "weight {w} out of range");
+            assert_eq!(base.endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        let base = crate::generators::structured::path(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(randomize_weights(&base, 0, 5, &mut rng).is_err());
+        assert!(randomize_weights(&base, 6, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn unit_range_is_identity_topology() {
+        let base = crate::generators::structured::cycle(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = randomize_weights(&base, 1, 1, &mut rng).unwrap();
+        assert_eq!(g, base);
+    }
+}

@@ -1,0 +1,157 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first non-comment line is `n m`, followed by `m` lines `u v w`.
+//! Lines starting with `#` are comments. This is the format the experiment
+//! binaries use to persist generated instances.
+
+use crate::{GraphBuilder, GraphError, WeightedGraph};
+use std::io::{BufRead, Write};
+
+/// Serializes a graph in the edge-list format to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(g: &WeightedGraph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# weighted undirected graph: n m, then u v w per edge")?;
+    writeln!(out, "{} {}", g.node_count(), g.edge_count())?;
+    for (_, u, v, w) in g.edge_tuples() {
+        writeln!(out, "{} {} {}", u.raw(), v.raw(), w)?;
+    }
+    Ok(())
+}
+
+/// Serializes a graph to a `String` in the edge-list format.
+pub fn to_edge_list_string(g: &WeightedGraph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+/// Parses a graph from the edge-list format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and the usual builder
+/// errors on semantic problems (self loops, out-of-range endpoints, …).
+pub fn read_edge_list<R: BufRead>(input: R) -> Result<WeightedGraph, GraphError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut expected_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (line_no, line) in input.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no,
+            reason: format!("I/O error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        if header.is_none() {
+            let n: usize = parse_field(&mut parts, line_no, "node count")?;
+            let m: usize = parse_field(&mut parts, line_no, "edge count")?;
+            header = Some((n, m));
+            expected_edges = m;
+            builder = Some(GraphBuilder::new(n));
+            continue;
+        }
+        let b = builder.as_mut().expect("builder exists after header");
+        let u: u32 = parse_field(&mut parts, line_no, "endpoint u")?;
+        let v: u32 = parse_field(&mut parts, line_no, "endpoint v")?;
+        let w: u64 = parse_field(&mut parts, line_no, "weight w")?;
+        b.add_edge(u, v, w);
+        seen_edges += 1;
+    }
+    let b = builder.ok_or(GraphError::Parse {
+        line: 0,
+        reason: "missing header line `n m`".to_string(),
+    })?;
+    if seen_edges != expected_edges {
+        return Err(GraphError::Parse {
+            line: 0,
+            reason: format!("header declared {expected_edges} edges, found {seen_edges}"),
+        });
+    }
+    b.build()
+}
+
+/// Parses a graph from a string in the edge-list format.
+///
+/// # Errors
+///
+/// Same as [`read_edge_list`].
+pub fn from_edge_list_str(s: &str) -> Result<WeightedGraph, GraphError> {
+    read_edge_list(s.as_bytes())
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let tok = parts.next().ok_or_else(|| GraphError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("invalid {what}: {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 5), (1, 2, 1), (2, 3, 9)]).unwrap();
+        let s = to_edge_list_string(&g);
+        let g2 = from_edge_list_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let s = "# comment\n\n3 2\n0 1 1\n# another\n1 2 4\n";
+        let g = from_edge_list_str(s).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            from_edge_list_str("# only comments\n"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let s = "2 1\n0 1 banana\n";
+        let err = from_edge_list_str(s).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let s = "3 5\n0 1 1\n";
+        assert!(matches!(
+            from_edge_list_str(s),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn propagates_semantic_errors() {
+        let s = "2 1\n0 0 3\n";
+        assert!(matches!(
+            from_edge_list_str(s),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Sequential fragment decomposition of a rooted tree.
+//!
+//! Partitions a rooted tree into connected subtrees ("fragments") such that
+//! with cap `s`:
+//!
+//! * every fragment is a connected subtree of the original tree,
+//! * every fragment except possibly the root's has at least `s` nodes, so
+//!   there are at most `n/s + 1` fragments,
+//! * every node is within `< s` tree hops of its fragment root, so fragment
+//!   diameter is `< 2s`.
+//!
+//! With `s = ⌈√n⌉` this is exactly the `(√n + 1, O(√n))` partition the
+//! paper takes from Kutten–Peleg (§3.2), used here as the **sequential test
+//! oracle**; the distributed pipeline obtains its fragments from phase A of
+//! the distributed MST instead (as the paper's footnote 1 suggests).
+
+use crate::RootedTree;
+use graphs::NodeId;
+
+/// A fragment decomposition of a rooted tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragments {
+    /// `label[v]` = fragment index of node `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// `root_of[f]` = the fragment root (the node of the fragment closest to
+    /// the tree root).
+    pub root_of: Vec<NodeId>,
+    /// Number of fragments.
+    pub count: usize,
+}
+
+impl Fragments {
+    /// Fragment index of `v`.
+    pub fn fragment_of(&self, v: NodeId) -> u32 {
+        self.label[v.index()]
+    }
+
+    /// Nodes of each fragment, grouped.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &f) in self.label.iter().enumerate() {
+            out[f as usize].push(NodeId::from_index(v));
+        }
+        out
+    }
+}
+
+/// Decomposes `tree` into fragments with size cap `s ≥ 1` (see module docs).
+///
+/// Fragment indices are assigned in increasing order of fragment-root BFS
+/// discovery, so the root's fragment has index 0.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn decompose(tree: &RootedTree, s: usize) -> Fragments {
+    assert!(s >= 1, "size cap must be at least 1");
+    let n = tree.len();
+    // Bottom-up: pending size of the not-yet-closed subtree hanging at v.
+    let mut pending = vec![1u32; n];
+    let mut closed = vec![false; n];
+    for v in tree.bottom_up() {
+        if pending[v.index()] as usize >= s || v == tree.root() {
+            closed[v.index()] = true;
+        } else if let Some(p) = tree.parent(v) {
+            pending[p.index()] += pending[v.index()];
+        }
+    }
+    // Top-down: fragment label = nearest closed ancestor (inclusive).
+    let mut label = vec![u32::MAX; n];
+    let mut root_of = Vec::new();
+    for &v in tree.bfs_order() {
+        if closed[v.index()] {
+            label[v.index()] = root_of.len() as u32;
+            root_of.push(v);
+        } else {
+            let p = tree.parent(v).expect("non-root nodes have parents");
+            label[v.index()] = label[p.index()];
+        }
+    }
+    Fragments {
+        label,
+        count: root_of.len(),
+        root_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn random_tree(n: usize, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parents: Vec<Option<NodeId>> = vec![None];
+        for v in 1..n {
+            parents.push(Some(node(rng.gen_range(0..v as u32))));
+        }
+        RootedTree::from_parents(node(0), &parents).unwrap()
+    }
+
+    fn check_invariants(tree: &RootedTree, s: usize, f: &Fragments) {
+        let n = tree.len();
+        // Every node labelled.
+        assert!(f.label.iter().all(|&l| (l as usize) < f.count));
+        // Fragment roots carry their own label and are the shallowest.
+        for (i, &r) in f.root_of.iter().enumerate() {
+            assert_eq!(f.label[r.index()], i as u32);
+        }
+        // Connectivity + depth bound: walking up from any node stays in the
+        // fragment until the fragment root, within < s hops.
+        for v in 0..n {
+            let v = node(v as u32);
+            let fr = f.root_of[f.fragment_of(v) as usize];
+            let mut cur = v;
+            let mut hops = 0;
+            while cur != fr {
+                assert_eq!(f.fragment_of(cur), f.fragment_of(v));
+                cur = tree.parent(cur).expect("fragment root is an ancestor");
+                hops += 1;
+                assert!(hops < s, "node {v:?} is ≥ {s} hops from fragment root");
+            }
+        }
+        // Count bound: every non-root fragment has ≥ s nodes.
+        let members = f.members();
+        for (i, m) in members.iter().enumerate() {
+            assert!(!m.is_empty());
+            if f.root_of[i] != tree.root() {
+                assert!(
+                    m.len() >= s,
+                    "fragment {i} has {} < {s} nodes",
+                    m.len()
+                );
+            }
+        }
+        assert!(f.count <= n / s + 1, "too many fragments: {}", f.count);
+    }
+
+    #[test]
+    fn path_decomposition() {
+        let n = 20;
+        let parents: Vec<Option<NodeId>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(node(v - 1)) })
+            .collect();
+        let t = RootedTree::from_parents(node(0), &parents).unwrap();
+        let f = decompose(&t, 5);
+        check_invariants(&t, 5, &f);
+        assert_eq!(f.count, 4);
+    }
+
+    #[test]
+    fn random_trees_meet_invariants() {
+        for seed in 0..8 {
+            let t = random_tree(200, seed);
+            for s in [1usize, 3, 14, 15, 50, 200] {
+                let f = decompose(&t, s);
+                check_invariants(&t, s, &f);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_one_makes_singletons() {
+        let t = random_tree(30, 9);
+        let f = decompose(&t, 1);
+        assert_eq!(f.count, 30);
+    }
+
+    #[test]
+    fn cap_n_makes_one_fragment() {
+        let t = random_tree(30, 10);
+        let f = decompose(&t, 30);
+        assert_eq!(f.count, 1);
+        assert_eq!(f.root_of[0], t.root());
+    }
+
+    #[test]
+    fn sqrt_cap_matches_paper_bounds() {
+        let n = 400;
+        let t = random_tree(n, 11);
+        let s = 20; // √400
+        let f = decompose(&t, s);
+        check_invariants(&t, s, &f);
+        assert!(f.count <= n / s + 1);
+    }
+}

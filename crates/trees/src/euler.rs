@@ -1,0 +1,152 @@
+//! Euler tours of rooted trees.
+
+use crate::RootedTree;
+use graphs::NodeId;
+
+/// The Euler tour of a rooted tree: the DFS visit sequence in which every
+/// node appears once per entry from a child, `2n − 1` entries total.
+///
+/// Used by the sparse-table LCA and as the sequential mirror of the paper's
+/// subtree computations.
+#[derive(Clone, Debug)]
+pub struct EulerTour {
+    /// The visit sequence, length `2n − 1`.
+    pub tour: Vec<NodeId>,
+    /// Depth of each tour entry.
+    pub depths: Vec<u32>,
+    /// `first[v]` = index of the first occurrence of `v` in the tour.
+    pub first: Vec<usize>,
+}
+
+impl EulerTour {
+    /// Computes the Euler tour of `tree` (children visited in sorted order).
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        let mut tour = Vec::with_capacity(2 * n.saturating_sub(1) + 1);
+        let mut depths = Vec::with_capacity(tour.capacity());
+        let mut first = vec![usize::MAX; n];
+        // Iterative DFS that re-pushes the parent after each child.
+        // Stack entries: (node, next-child-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci == 0 {
+                // First arrival at v (or we record every arrival below).
+            }
+            if first[v.index()] == usize::MAX {
+                first[v.index()] = tour.len();
+            }
+            tour.push(v);
+            depths.push(tree.depth(v));
+            let children = tree.children(v);
+            if *ci < children.len() {
+                let c = children[*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                // Parent will be re-recorded on return by the next loop
+                // iteration — but only if it still has children to process;
+                // if not, we must not duplicate. Handle by recording returns
+                // explicitly below.
+                if let Some(&mut (_p, _)) = stack.last_mut() {
+                    // fallthrough: loop records parent again on next pass
+                } else {
+                    break;
+                }
+            }
+        }
+        EulerTour {
+            tour,
+            depths,
+            first,
+        }
+    }
+
+    /// Length of the tour (`2n − 1` for `n ≥ 1`).
+    pub fn len(&self) -> usize {
+        self.tour.len()
+    }
+
+    /// Returns `true` if the tour is empty (zero-node tree).
+    pub fn is_empty(&self) -> bool {
+        self.tour.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> RootedTree {
+        // 0 — {1, 2}; 1 — {3, 4}; 2 — {5}
+        RootedTree::from_edges(
+            6,
+            node(0),
+            &[
+                (node(0), node(1)),
+                (node(0), node(2)),
+                (node(1), node(3)),
+                (node(1), node(4)),
+                (node(2), node(5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tour_has_correct_length_and_first_occurrences() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        assert_eq!(e.len(), 2 * 6 - 1);
+        assert_eq!(e.tour[0], node(0));
+        for v in 0..6 {
+            let f = e.first[v];
+            assert!(f < e.len());
+            assert_eq!(e.tour[f], node(v as u32));
+        }
+    }
+
+    #[test]
+    fn consecutive_entries_differ_by_one_level() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        for w in e.depths.windows(2) {
+            let diff = (w[0] as i64 - w[1] as i64).abs();
+            assert_eq!(diff, 1, "Euler tour depths must change by exactly 1");
+        }
+    }
+
+    #[test]
+    fn expected_tour_for_sample() {
+        let t = sample();
+        let e = EulerTour::new(&t);
+        let ids: Vec<u32> = e.tour.iter().map(|v| v.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 3, 1, 4, 1, 0, 2, 5, 2, 0]);
+    }
+
+    #[test]
+    fn single_node_tour() {
+        let t = RootedTree::from_edges(1, node(0), &[]).unwrap();
+        let e = EulerTour::new(&t);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+        assert_eq!(e.first[0], 0);
+    }
+
+    #[test]
+    fn path_tree_tour() {
+        let t = RootedTree::from_edges(
+            4,
+            node(0),
+            &[(node(0), node(1)), (node(1), node(2)), (node(2), node(3))],
+        )
+        .unwrap();
+        let e = EulerTour::new(&t);
+        let ids: Vec<u32> = e.tour.iter().map(|v| v.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Sequential minimum spanning trees/forests: Kruskal, Prim, Borůvka.
+//!
+//! All three support custom edge keys. The greedy tree packing of Thorup
+//! orders edges by the lexicographic key `(load, weight, edge id)`, which is
+//! a strict total order, so the minimum spanning tree is unique and every
+//! algorithm (including the distributed one) must produce the same tree —
+//! the tests exploit that.
+
+use crate::DisjointSets;
+use graphs::{EdgeId, NodeId, Weight, WeightedGraph};
+
+/// The result of an MST/MSF computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MstResult {
+    /// Chosen edges, sorted by edge id.
+    pub edges: Vec<EdgeId>,
+    /// Sum of the *graph* weights of the chosen edges (even when a custom
+    /// key was used for comparisons).
+    pub total_weight: Weight,
+}
+
+impl MstResult {
+    /// Returns `true` if the result spans a connected graph on `n` nodes
+    /// (i.e. it is a tree, not a forest).
+    pub fn is_spanning_tree(&self, n: usize) -> bool {
+        self.edges.len() + 1 == n
+    }
+
+    /// The tree edges as `(u, v)` endpoint pairs.
+    pub fn endpoint_pairs(&self, g: &WeightedGraph) -> Vec<(NodeId, NodeId)> {
+        self.edges.iter().map(|&e| g.endpoints(e)).collect()
+    }
+}
+
+/// Kruskal's algorithm under the natural key `(weight, edge id)`.
+/// Returns a spanning forest if the graph is disconnected.
+pub fn kruskal(g: &WeightedGraph) -> MstResult {
+    kruskal_by(g, |e, w| (w, e.raw()))
+}
+
+/// Kruskal's algorithm under a custom total order on edges.
+///
+/// `key(e, w)` must be a strict total order for the MST to be unique.
+pub fn kruskal_by<K: Ord>(g: &WeightedGraph, key: impl Fn(EdgeId, Weight) -> K) -> MstResult {
+    let mut order: Vec<EdgeId> = g.edges().collect();
+    order.sort_by_key(|&e| key(e, g.weight(e)));
+    let mut dsu = DisjointSets::new(g.node_count());
+    let mut edges = Vec::new();
+    let mut total = 0;
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if dsu.union(u.index(), v.index()) {
+            edges.push(e);
+            total += g.weight(e);
+        }
+    }
+    edges.sort_unstable();
+    MstResult {
+        edges,
+        total_weight: total,
+    }
+}
+
+/// Prim's algorithm (binary heap), restarted per component, under the
+/// natural key `(weight, edge id)`.
+pub fn prim(g: &WeightedGraph) -> MstResult {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::new();
+    let mut total = 0;
+    let mut heap: BinaryHeap<Reverse<(Weight, u32, u32)>> = BinaryHeap::new();
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        in_tree[start] = true;
+        for a in g.neighbors(NodeId::from_index(start)) {
+            heap.push(Reverse((a.weight, a.edge.raw(), a.neighbor.raw())));
+        }
+        while let Some(Reverse((w, e, v))) = heap.pop() {
+            if in_tree[v as usize] {
+                continue;
+            }
+            in_tree[v as usize] = true;
+            edges.push(EdgeId::new(e));
+            total += w;
+            for a in g.neighbors(NodeId::new(v)) {
+                if !in_tree[a.neighbor.index()] {
+                    heap.push(Reverse((a.weight, a.edge.raw(), a.neighbor.raw())));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    MstResult {
+        edges,
+        total_weight: total,
+    }
+}
+
+/// Borůvka's algorithm under a custom total order on edges. This is the
+/// sequential mirror of the distributed MST (which is Borůvka-structured),
+/// so agreement between the two is a strong correctness check.
+pub fn boruvka_by<K: Ord + Clone>(
+    g: &WeightedGraph,
+    key: impl Fn(EdgeId, Weight) -> K,
+) -> MstResult {
+    let n = g.node_count();
+    let mut dsu = DisjointSets::new(n);
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut total = 0;
+    loop {
+        // Minimum-key outgoing edge per component.
+        let mut best: std::collections::HashMap<usize, (K, EdgeId)> =
+            std::collections::HashMap::new();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let (ru, rv) = (dsu.find(u.index()), dsu.find(v.index()));
+            if ru == rv {
+                continue;
+            }
+            let k = key(e, g.weight(e));
+            for r in [ru, rv] {
+                match best.get(&r) {
+                    Some((bk, _)) if *bk <= k => {}
+                    _ => {
+                        best.insert(r, (k.clone(), e));
+                    }
+                }
+            }
+        }
+        if best.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for (_, (_, e)) in best {
+            let (u, v) = g.endpoints(e);
+            if dsu.union(u.index(), v.index()) {
+                chosen.push(e);
+                total += g.weight(e);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    chosen.sort_unstable();
+    MstResult {
+        edges: chosen,
+        total_weight: total,
+    }
+}
+
+/// Borůvka's algorithm under the natural key `(weight, edge id)`.
+pub fn boruvka(g: &WeightedGraph) -> MstResult {
+    boruvka_by(g, |e, w| (w, e.raw()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_mst() {
+        // Square with a heavy diagonal: MST must avoid the diagonal.
+        let g = graphs::WeightedGraph::from_edges(
+            4,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
+        )
+        .unwrap();
+        let k = kruskal(&g);
+        assert_eq!(k.total_weight, 6);
+        assert!(k.is_spanning_tree(4));
+        assert_eq!(prim(&g).total_weight, 6);
+        assert_eq!(boruvka(&g).total_weight, 6);
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [5usize, 20, 60] {
+            let base = generators::erdos_renyi_connected(n, 0.15, &mut rng).unwrap();
+            let g = generators::randomize_weights(&base, 1, 1000, &mut rng).unwrap();
+            let k = kruskal(&g);
+            let p = prim(&g);
+            let b = boruvka(&g);
+            assert_eq!(k.total_weight, p.total_weight);
+            assert_eq!(k.total_weight, b.total_weight);
+            assert!(k.is_spanning_tree(n));
+            // Under the strict (w, id) order the MST is unique.
+            assert_eq!(k.edges, b.edges);
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = graphs::WeightedGraph::from_edges(5, [(0, 1, 1), (2, 3, 2)]).unwrap();
+        let k = kruskal(&g);
+        assert_eq!(k.edges.len(), 2);
+        assert!(!k.is_spanning_tree(5));
+        assert_eq!(prim(&g).edges, k.edges);
+        assert_eq!(boruvka(&g).edges, k.edges);
+    }
+
+    #[test]
+    fn custom_key_inverts_preference() {
+        // Same square; under the *inverted* weight order the "MST" is the
+        // maximum spanning tree.
+        let g = graphs::WeightedGraph::from_edges(
+            4,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
+        )
+        .unwrap();
+        // Heaviest usable edges: 10 (0,2), 4 (3,0); 3 (2,3) would close the
+        // cycle 0-2-3, so 2 (1,2) joins node 1 instead.
+        let max_tree = kruskal_by(&g, |e, w| (std::cmp::Reverse(w), e.raw()));
+        assert_eq!(max_tree.total_weight, 10 + 4 + 2);
+        let b = boruvka_by(&g, |e, w| (std::cmp::Reverse(w), e.raw()));
+        assert_eq!(b.edges, max_tree.edges);
+    }
+
+    #[test]
+    fn endpoint_pairs_match_graph() {
+        let g = graphs::WeightedGraph::from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)]).unwrap();
+        let k = kruskal(&g);
+        let pairs = k.endpoint_pairs(&g);
+        assert_eq!(pairs.len(), 2);
+        for (u, v) in pairs {
+            assert!(g.edge_between(u, v).is_some());
+        }
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let g1 = graphs::WeightedGraph::from_edges(1, []).unwrap();
+        assert!(kruskal(&g1).edges.is_empty());
+        assert!(kruskal(&g1).is_spanning_tree(1));
+        let g0 = graphs::WeightedGraph::from_edges(0, []).unwrap();
+        assert!(prim(&g0).edges.is_empty());
+    }
+}

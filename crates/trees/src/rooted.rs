@@ -1,0 +1,353 @@
+//! Rooted tree representation: parents, children, depths, and orders.
+
+use graphs::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from rooted-tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The edge set does not form a spanning tree of `0..n` (wrong count,
+    /// cycle, or disconnected).
+    NotATree {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        node: u32,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NotATree { reason } => write!(f, "not a tree: {reason}"),
+            TreeError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+/// A rooted tree on nodes `0..n`.
+///
+/// Stores parents, children lists, depths, and a BFS order from the root.
+/// Children lists are sorted by node index, so traversals are deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    bfs_order: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from undirected tree edges `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the edges do not form a spanning tree on
+    /// `0..n` or an index is out of range.
+    pub fn from_edges(
+        n: usize,
+        root: NodeId,
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, TreeError> {
+        if root.index() >= n {
+            return Err(TreeError::NodeOutOfRange { node: root.raw() });
+        }
+        if edges.len() + 1 != n {
+            return Err(TreeError::NotATree {
+                reason: format!("{} edges for {} nodes", edges.len(), n),
+            });
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u.index() >= n {
+                return Err(TreeError::NodeOutOfRange { node: u.raw() });
+            }
+            if v.index() >= n {
+                return Err(TreeError::NodeOutOfRange { node: v.raw() });
+            }
+            adj[u.index()].push(v);
+            adj[v.index()].push(u);
+        }
+        // BFS orientation from the root.
+        let mut parent = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        visited[root.index()] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in &adj[v.index()] {
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    parent[u.index()] = Some(v);
+                    depth[u.index()] = depth[v.index()] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(TreeError::NotATree {
+                reason: format!("only {} of {} nodes reachable from root", order.len(), n),
+            });
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                children[p.index()].push(NodeId::from_index(v));
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            children,
+            depth,
+            bfs_order: order,
+        })
+    }
+
+    /// Builds a rooted tree from a parent array (`parent[root] = None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the parent pointers contain a cycle, point
+    /// out of range, or do not reach the root from every node.
+    pub fn from_parents(root: NodeId, parents: &[Option<NodeId>]) -> Result<Self, TreeError> {
+        let n = parents.len();
+        if root.index() >= n {
+            return Err(TreeError::NodeOutOfRange { node: root.raw() });
+        }
+        if parents[root.index()].is_some() {
+            return Err(TreeError::NotATree {
+                reason: "root must have no parent".to_string(),
+            });
+        }
+        let edges: Vec<(NodeId, NodeId)> = parents
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (NodeId::from_index(v), p)))
+            .collect();
+        if edges.len() + 1 != n {
+            return Err(TreeError::NotATree {
+                reason: "exactly one node may lack a parent".to_string(),
+            });
+        }
+        Self::from_edges(n, root, &edges)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the tree has no nodes. (Constructible only via a
+    /// zero-length parent array, which `from_parents` rejects; kept for API
+    /// completeness.)
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v`, sorted by index.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Height of the tree: maximum depth.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nodes in BFS order from the root (root first).
+    pub fn bfs_order(&self) -> &[NodeId] {
+        &self.bfs_order
+    }
+
+    /// Nodes in reverse BFS order — a valid "children before parents" order
+    /// for bottom-up dynamic programming.
+    pub fn bottom_up(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bfs_order.iter().rev().copied()
+    }
+
+    /// Iterator over all `(child, parent)` tree edges.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (NodeId::from_index(v), p)))
+    }
+
+    /// Walks ancestors of `v` starting at `v` itself, ending at the root.
+    pub fn ancestors(&self, v: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: Some(v),
+        }
+    }
+
+    /// Subtree size of every node (`size[v] = |v↓|`), via one bottom-up pass.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![1u32; self.len()];
+        for v in self.bottom_up() {
+            if let Some(p) = self.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        size
+    }
+}
+
+/// Iterator over the ancestors of a node, including the node itself.
+#[derive(Clone, Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a RootedTree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.cur?;
+        self.cur = self.tree.parent(v);
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A small tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \   \
+    ///    3   4   5
+    /// ```
+    fn sample() -> RootedTree {
+        RootedTree::from_edges(
+            6,
+            node(0),
+            &[
+                (node(0), node(1)),
+                (node(2), node(0)),
+                (node(1), node(3)),
+                (node(4), node(1)),
+                (node(5), node(2)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample();
+        assert_eq!(t.root(), node(0));
+        assert_eq!(t.parent(node(3)), Some(node(1)));
+        assert_eq!(t.parent(node(0)), None);
+        assert_eq!(t.children(node(1)), &[node(3), node(4)]);
+        assert_eq!(t.depth(node(5)), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn orders() {
+        let t = sample();
+        assert_eq!(t.bfs_order()[0], node(0));
+        // Bottom-up must place children before parents.
+        let pos: std::collections::HashMap<NodeId, usize> = t
+            .bottom_up()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
+        for (c, p) in t.edges() {
+            assert!(pos[&c] < pos[&p], "{c:?} should come before {p:?}");
+        }
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let t = sample();
+        let a: Vec<NodeId> = t.ancestors(node(4)).collect();
+        assert_eq!(a, vec![node(4), node(1), node(0)]);
+    }
+
+    #[test]
+    fn subtree_sizes_are_correct() {
+        let t = sample();
+        let s = t.subtree_sizes();
+        assert_eq!(s[0], 6);
+        assert_eq!(s[1], 3);
+        assert_eq!(s[2], 2);
+        assert_eq!(s[3], 1);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        let t = sample();
+        let parents: Vec<Option<NodeId>> = (0..6)
+            .map(|v| t.parent(NodeId::from_index(v)))
+            .collect();
+        let t2 = RootedTree::from_parents(node(0), &parents).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        // Too few edges.
+        assert!(RootedTree::from_edges(3, node(0), &[(node(0), node(1))]).is_err());
+        // Cycle (and disconnected node 3).
+        assert!(RootedTree::from_edges(
+            4,
+            node(0),
+            &[(node(0), node(1)), (node(1), node(2)), (node(2), node(0))],
+        )
+        .is_err());
+        // Out-of-range root.
+        assert!(RootedTree::from_edges(2, node(5), &[(node(0), node(1))]).is_err());
+        // Root with a parent.
+        assert!(
+            RootedTree::from_parents(node(0), &[Some(node(1)), None]).is_err()
+        );
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = RootedTree::from_edges(1, node(0), &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 0);
+        assert!(t.children(node(0)).is_empty());
+    }
+}

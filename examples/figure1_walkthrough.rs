@@ -1,0 +1,94 @@
+//! Walkthrough of the paper's Figure 1: prints the tree, fragments, `T_F`,
+//! `A(15)`, merging nodes, `T'_F`, and the LCA case of every non-tree edge,
+//! then runs the distributed pipeline on the instance and shows that every
+//! node ends up knowing `C(v↓)`.
+//!
+//! ```text
+//! cargo run --release --example figure1_walkthrough
+//! ```
+
+use mincut_repro::graphs::NodeId;
+use mincut_repro::mincut::figure1::{Figure1, EXTRA_EDGES};
+use mincut_repro::mincut::reference::ReferenceStructure;
+use mincut_repro::trees::lca::SparseTableLca;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig = Figure1::build();
+    let r = ReferenceStructure::new(&fig.graph, fig.tree.clone(), &fig.fragments);
+
+    println!("Figure 1 instance (16 nodes, 4 fragments)");
+    println!("------------------------------------------");
+    println!("               0");
+    println!("             /   \\");
+    println!("            1     2");
+    println!("          /  \\     \\");
+    println!("         3    4     5");
+    println!("        / \\  / \\   /  \\");
+    println!("       6  7 8   9 10  11");
+    println!("       |  | |   |");
+    println!("      12 13 14 15");
+    println!();
+
+    // (a)/(b): fragments and the fragment tree.
+    println!("fragments (label: members, root):");
+    for (i, members) in fig.fragments.members().iter().enumerate() {
+        let ids: Vec<u32> = members.iter().map(|v| v.raw()).collect();
+        println!(
+            "  F{i}: {ids:?}  root r{i} = {}",
+            fig.fragments.root_of[i]
+        );
+    }
+    println!("T_F parents: {:?}  (F1, F2, F3 hang off F0)", r.tf_parent);
+    println!();
+
+    // (c): the ancestor set A(15), as drawn in the paper.
+    let a15: Vec<u32> = r.a_sets[15].iter().map(|v| v.raw()).collect();
+    println!("A(15) = {a15:?}  (15 in F2; ancestors in F2 and parent F0)");
+    println!();
+
+    // (d): merging nodes and T'_F.
+    let merging: Vec<usize> = (0..16).filter(|&v| r.merging[v]).collect();
+    println!("merging nodes: {merging:?}");
+    let mut tprime: Vec<(u32, Option<u32>)> = r
+        .tprime_parent
+        .iter()
+        .map(|(v, p)| (v.raw(), p.map(|p| p.raw())))
+        .collect();
+    tprime.sort_unstable();
+    println!("T'_F (node -> parent): {tprime:?}");
+    println!();
+
+    // (e): LCA cases of the non-tree edges.
+    let lca = SparseTableLca::new(&fig.tree);
+    println!("non-tree edges and their LCA cases:");
+    for &(u, v, _) in EXTRA_EDGES.iter() {
+        let z = lca.lca(NodeId::new(u), NodeId::new(v));
+        let (fu, fv, fz) = (
+            fig.fragments.label[u as usize],
+            fig.fragments.label[v as usize],
+            fig.fragments.label[z.index()],
+        );
+        let case = if fu == fv {
+            "case 1 (same fragment)"
+        } else if fz == fu || fz == fv {
+            "case 3 (LCA inside an endpoint's fragment)"
+        } else {
+            "case 2 (LCA outside both; a merging node)"
+        };
+        let msg_type = if fz != fu && fz != fv { "i" } else { "ii" };
+        println!("  ({u:2},{v:2}): LCA = {z}, {case}, message type ({msg_type})");
+    }
+    println!();
+
+    // Run the actual distributed pipeline on the instance.
+    let result = mincut_repro::mincut::dist::driver::exact_mincut(
+        &fig.graph,
+        &mincut_repro::mincut::dist::driver::ExactConfig::default(),
+    )?;
+    println!(
+        "distributed pipeline: min cut = {} in {} CONGEST rounds",
+        result.cut.value, result.rounds
+    );
+    println!("C(v↓) per node (sequential reference): {:?}", r.cuts);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The paper's Figure 1, pinned through the public API.
+
+use mincut_repro::graphs::NodeId;
+use mincut_repro::mincut::dist::driver::{exact_mincut, ExactConfig};
+use mincut_repro::mincut::figure1::Figure1;
+use mincut_repro::mincut::reference::ReferenceStructure;
+
+#[test]
+fn fragments_and_tf() {
+    let f = Figure1::build();
+    let r = ReferenceStructure::new(&f.graph, f.tree.clone(), &f.fragments);
+    assert_eq!(r.fragment_count(), 4);
+    assert_eq!(r.tf_parent, vec![None, Some(0), Some(0), Some(0)]);
+    assert_eq!(
+        r.frag_roots,
+        vec![NodeId::new(0), NodeId::new(3), NodeId::new(4), NodeId::new(5)]
+    );
+}
+
+#[test]
+fn a15_matches_figure_1c() {
+    let f = Figure1::build();
+    let r = ReferenceStructure::new(&f.graph, f.tree.clone(), &f.fragments);
+    let a15: Vec<u32> = r.a_sets[15].iter().map(|v| v.raw()).collect();
+    assert_eq!(a15, vec![15, 9, 4, 1, 0]);
+}
+
+#[test]
+fn merging_nodes_and_tprime_match_figure_1d() {
+    let f = Figure1::build();
+    let r = ReferenceStructure::new(&f.graph, f.tree.clone(), &f.fragments);
+    let merging: Vec<usize> = (0..16).filter(|&v| r.merging[v]).collect();
+    assert_eq!(merging, vec![0, 1]);
+    assert_eq!(r.tprime_parent[&NodeId::new(3)], Some(NodeId::new(1)));
+    assert_eq!(r.tprime_parent[&NodeId::new(5)], Some(NodeId::new(0)));
+}
+
+#[test]
+fn distributed_run_on_figure_instance() {
+    let f = Figure1::build();
+    let result = exact_mincut(&f.graph, &ExactConfig::default()).unwrap();
+    // The instance's minimum cut: isolating the {5,10,11} fragment side
+    // costs 2 (tree edge 2–5 plus non-tree edge 2–11)… the oracle decides.
+    let oracle = mincut_repro::mincut::seq::stoer_wagner(&f.graph).unwrap();
+    assert_eq!(result.cut.value, oracle.value);
+}
