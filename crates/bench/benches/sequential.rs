@@ -25,7 +25,12 @@ fn bench_sequential(c: &mut Criterion) {
             b.iter(|| seq::karger_stein(g, &mut rng).unwrap().value)
         });
         group.bench_with_input(BenchmarkId::new("packing_mincut", n), &g, |b, g| {
-            b.iter(|| seq::packing_mincut(g, &Default::default()).unwrap().cut.value)
+            b.iter(|| {
+                seq::packing_mincut(g, &Default::default())
+                    .unwrap()
+                    .cut
+                    .value
+            })
         });
         group.bench_with_input(BenchmarkId::new("matula_2eps", n), &g, |b, g| {
             b.iter(|| seq::matula_estimate(g, 0.5).unwrap())

@@ -37,7 +37,10 @@ fn bench_simulator(c: &mut Criterion) {
                     .enumerate()
                     .map(|(v, t)| (t.clone(), SumU64(v as u64)))
                     .collect();
-                net.run("sum", &Convergecast::new(), inputs).unwrap().metrics.rounds
+                net.run("sum", &Convergecast::new(), inputs)
+                    .unwrap()
+                    .metrics
+                    .rounds
             })
         });
     }

@@ -28,7 +28,11 @@ fn main() {
             opt.to_string(),
             format!("{} ({} trees)", one.cut.value, one.trees_packed),
             format!("{} ({} trees)", two.value, trees2),
-            if two.value == opt { "yes".into() } else { "NO".into() },
+            if two.value == opt {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table(

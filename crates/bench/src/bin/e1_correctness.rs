@@ -44,9 +44,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut exact = 0;
-    let thorup = |lambda: u64, n: usize| -> f64 {
-        (lambda.max(1) as f64).powi(7) * (n as f64).ln().powi(3)
-    };
+    let thorup =
+        |lambda: u64, n: usize| -> f64 { (lambda.max(1) as f64).powi(7) * (n as f64).ln().powi(3) };
     for (name, g) in &cases {
         let want = stoer_wagner(g).unwrap().value;
         let r = exact_mincut(g, &ExactConfig::default()).unwrap();
@@ -65,7 +64,13 @@ fn main() {
     }
     table(
         &[
-            "instance", "n", "λ (oracle)", "λ (dist)", "exact", "trees→best", "trees packed",
+            "instance",
+            "n",
+            "λ (oracle)",
+            "λ (dist)",
+            "exact",
+            "trees→best",
+            "trees packed",
             "Thorup bound",
         ],
         &rows,

@@ -7,7 +7,10 @@ use graphs::generators;
 use mincut_bench::{banner, f, scaling_unit, single_tree_run, table};
 
 fn main() {
-    banner("E2", "rounds of one tree iteration track √n + D (fig.-style series)");
+    banner(
+        "E2",
+        "rounds of one tree iteration track √n + D (fig.-style series)",
+    );
 
     println!("### Torus family (D = Θ(√n))");
     println!();
@@ -24,7 +27,10 @@ fn main() {
             f(r.rounds as f64 / unit, 1),
         ]);
     }
-    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+    table(
+        &["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"],
+        &rows,
+    );
 
     println!("### Das-Sarma family (D = O(log n), √n dominates)");
     println!();
@@ -41,7 +47,10 @@ fn main() {
             f(r.rounds as f64 / unit, 1),
         ]);
     }
-    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+    table(
+        &["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"],
+        &rows,
+    );
 
     println!("### Path family (D = Θ(n): the D term dominates)");
     println!();
@@ -58,6 +67,9 @@ fn main() {
             f(r.rounds as f64 / unit, 1),
         ]);
     }
-    table(&["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"], &rows);
+    table(
+        &["instance", "n", "√n + D", "rounds", "rounds/(√n+D)"],
+        &rows,
+    );
     println!("shape check: the last column drifts polylogarithmically, not polynomially.");
 }

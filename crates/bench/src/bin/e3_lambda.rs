@@ -8,7 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E3", "total rounds ∝ trees packed ∝ λ·log n; per-tree cost flat");
+    banner(
+        "E3",
+        "total rounds ∝ trees packed ∝ λ·log n; per-tree cost flat",
+    );
     let mut rng = StdRng::seed_from_u64(3);
     let mut rows = Vec::new();
     for lambda in [1usize, 2, 3, 4, 6, 8] {
@@ -26,7 +29,14 @@ fn main() {
         ]);
     }
     table(
-        &["λ (planted)", "n", "λ (found)", "trees", "rounds", "per-tree/(√n+D)"],
+        &[
+            "λ (planted)",
+            "n",
+            "λ (found)",
+            "trees",
+            "rounds",
+            "per-tree/(√n+D)",
+        ],
         &rows,
     );
     println!("shape check: `trees` and `rounds` grow ≈ linearly in λ; the last column is flat.");

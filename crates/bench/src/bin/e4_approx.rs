@@ -10,16 +10,23 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E4", "approximation ratios and rounds: (1+ε) vs (2+ε)-class baselines");
+    banner(
+        "E4",
+        "approximation ratios and rounds: (1+ε) vs (2+ε)-class baselines",
+    );
     let mut rng = StdRng::seed_from_u64(4);
     let instances: Vec<(String, graphs::WeightedGraph)> = vec![
         (
             "community(24,8,λ=3)".into(),
-            generators::community_pair(24, 8, 3, &mut rng).unwrap().graph,
+            generators::community_pair(24, 8, 3, &mut rng)
+                .unwrap()
+                .graph,
         ),
         (
             "community(32,6,λ=4)".into(),
-            generators::community_pair(32, 6, 4, &mut rng).unwrap().graph,
+            generators::community_pair(32, 6, 4, &mut rng)
+                .unwrap()
+                .graph,
         ),
         ("torus(6x6)".into(), generators::torus2d(6, 6).unwrap()),
     ];
@@ -65,5 +72,7 @@ fn main() {
         ]);
         table(&["algorithm", "value", "ratio", "rounds"], &rows);
     }
-    println!("shape check: the (1+ε) rows sit at ratio ≈ 1.0; the (2+ε)-class rows drift up to 2×.");
+    println!(
+        "shape check: the (1+ε) rows sit at ratio ≈ 1.0; the (2+ε)-class rows drift up to 2×."
+    );
 }

@@ -11,7 +11,14 @@ fn main() {
         "gap to the Ω̃(√n + D) lower bound on the Das-Sarma family (one tree iteration)",
     );
     let mut rows = Vec::new();
-    for (gamma, ell) in [(2usize, 8usize), (4, 8), (4, 16), (8, 16), (8, 32), (12, 64)] {
+    for (gamma, ell) in [
+        (2usize, 8usize),
+        (4, 8),
+        (4, 16),
+        (8, 16),
+        (8, 32),
+        (12, 64),
+    ] {
         let g = generators::das_sarma_style(gamma, ell).unwrap();
         let n = g.node_count();
         let unit = scaling_unit(&g);

@@ -7,7 +7,10 @@ use mincut::dist::driver::{exact_mincut, ExactConfig};
 use mincut_bench::{banner, table};
 
 fn main() {
-    banner("E6", "bandwidth compliance and message volumes (strict mode)");
+    banner(
+        "E6",
+        "bandwidth compliance and message volumes (strict mode)",
+    );
     let cfg = ExactConfig::default();
     let budget_of = |n: usize| cfg.network.bandwidth_bits(n);
     let mut rows = Vec::new();
@@ -49,5 +52,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("strict mode would have *errored* on any violation; the zeros are enforced, not sampled.");
+    println!(
+        "strict mode would have *errored* on any violation; the zeros are enforced, not sampled."
+    );
 }

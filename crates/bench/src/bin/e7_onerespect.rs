@@ -13,8 +13,14 @@ fn main() {
     let mut rows = Vec::new();
     let cases: Vec<(String, graphs::WeightedGraph)> = vec![
         // Path: the MST is the path itself — tree depth Θ(n).
-        ("path(100) [depth Θ(n)]".into(), generators::path(100).unwrap()),
-        ("path(225) [depth Θ(n)]".into(), generators::path(225).unwrap()),
+        (
+            "path(100) [depth Θ(n)]".into(),
+            generators::path(100).unwrap(),
+        ),
+        (
+            "path(225) [depth Θ(n)]".into(),
+            generators::path(225).unwrap(),
+        ),
         // Caterpillar: deep spine with legs.
         (
             "caterpillar(50,2)".into(),

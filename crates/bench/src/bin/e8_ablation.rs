@@ -41,7 +41,13 @@ fn main() {
         ]);
     }
     table(
-        &["cap policy", "cap", "rounds (2 trees)", "rounds/(√n+D)", "value"],
+        &[
+            "cap policy",
+            "cap",
+            "rounds (2 trees)",
+            "rounds/(√n+D)",
+            "value",
+        ],
         &rows,
     );
     println!("shape check: rounds are minimized near cap = √n; value is identical everywhere.");

@@ -11,7 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E9", "exact algorithm vs sampling baselines across planted instances");
+    banner(
+        "E9",
+        "exact algorithm vs sampling baselines across planted instances",
+    );
     let mut rng = StdRng::seed_from_u64(9);
     let mut rows = Vec::new();
     for (tag, lambda) in [("a", 2usize), ("b", 3), ("c", 5)] {
@@ -40,5 +43,7 @@ fn main() {
         &["instance", "algorithm", "λ", "value", "ratio", "rounds"],
         &rows,
     );
-    println!("shape check: the exact rows are always ratio 1.00; the samplers trade quality for rounds.");
+    println!(
+        "shape check: the exact rows are always ratio 1.00; the samplers trade quality for rounds."
+    );
 }

@@ -218,7 +218,14 @@ impl<'g> Network<'g> {
                         o
                     }
                 };
-                self.route(name, v, outbox.msgs, round, &mut next_inflight, &mut metrics)?;
+                self.route(
+                    name,
+                    v,
+                    outbox.msgs,
+                    round,
+                    &mut next_inflight,
+                    &mut metrics,
+                )?;
             }
             inflight = next_inflight;
         }

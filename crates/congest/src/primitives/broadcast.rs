@@ -125,7 +125,11 @@ impl<T: Message> Algorithm for BroadcastItems<T> {
     type Msg = StreamMsg<T>;
     type Output = Vec<T>;
 
-    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (BciState<T>, Outbox<StreamMsg<T>>) {
+    fn boot(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        (tree, items): Self::Input,
+    ) -> (BciState<T>, Outbox<StreamMsg<T>>) {
         let is_root = tree.is_root();
         debug_assert!(is_root || items.is_empty(), "only roots may hold items");
         let state = BciState {
@@ -212,7 +216,9 @@ mod tests {
             .enumerate()
             .map(|(v, t)| (t, if v == 0 { items.clone() } else { vec![] }))
             .collect();
-        let out = net.run("bcast_items", &BroadcastItems::new(), inputs).unwrap();
+        let out = net
+            .run("bcast_items", &BroadcastItems::new(), inputs)
+            .unwrap();
         for o in &out.outputs {
             assert_eq!(o, &items);
         }
@@ -242,7 +248,9 @@ mod tests {
             (t(Some(0), vec![1], 1), vec![]),
             (t(Some(0), vec![], 2), vec![]),
         ];
-        let out = net.run("forest_bcast", &BroadcastItems::new(), inputs).unwrap();
+        let out = net
+            .run("forest_bcast", &BroadcastItems::new(), inputs)
+            .unwrap();
         assert_eq!(out.outputs[2], vec![7, 8]);
         assert_eq!(out.outputs[5], vec![9]);
         assert_eq!(out.outputs[4], vec![9]);

@@ -126,7 +126,11 @@ impl<T: Aggregate> Algorithm for Convergecast<T> {
     type Msg = AggMsg<T>;
     type Output = Option<T>;
 
-    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, value): (TreeInfo, T)) -> (CcState<T>, Outbox<AggMsg<T>>) {
+    fn boot(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        (tree, value): (TreeInfo, T),
+    ) -> (CcState<T>, Outbox<AggMsg<T>>) {
         let waiting = tree.children.len();
         let state = CcState {
             tree,
@@ -221,14 +225,8 @@ mod tests {
 
     #[test]
     fn min_pair_argmin() {
-        assert_eq!(
-            MinPair(5, 2).combine(&MinPair(5, 1)),
-            MinPair(5, 1)
-        );
-        assert_eq!(
-            MinPair(4, 9).combine(&MinPair(5, 1)),
-            MinPair(4, 9)
-        );
+        assert_eq!(MinPair(5, 2).combine(&MinPair(5, 1)), MinPair(5, 1));
+        assert_eq!(MinPair(4, 9).combine(&MinPair(5, 1)), MinPair(4, 9));
     }
 
     #[test]

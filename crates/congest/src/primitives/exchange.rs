@@ -104,11 +104,7 @@ impl<T: Message> Algorithm for EdgeListExchange<T> {
     type Output = Vec<Vec<T>>;
 
     fn boot(&self, ctx: &NodeCtx<'_>, input: Self::Input) -> (ElxState<T>, Outbox<StreamMsg<T>>) {
-        assert_eq!(
-            input.len(),
-            ctx.degree(),
-            "one send list per port required"
-        );
+        assert_eq!(input.len(), ctx.degree(), "one send list per port required");
         let deg = ctx.degree();
         let mut to_send: Vec<Vec<T>> = input
             .into_iter()
@@ -215,9 +211,7 @@ mod tests {
         let inputs: Vec<Vec<Vec<u64>>> = (0..9usize)
             .map(|v| {
                 let deg = g.degree(graphs::NodeId::from_index(v));
-                (0..deg)
-                    .map(|_| vec![v as u64; v % 3 + 1])
-                    .collect()
+                (0..deg).map(|_| vec![v as u64; v % 3 + 1]).collect()
             })
             .collect();
         let out = net.run("elx", &EdgeListExchange::new(), inputs).unwrap();
@@ -238,7 +232,9 @@ mod tests {
         let inputs: Vec<Vec<Vec<u64>>> = (0..4usize)
             .map(|v| vec![Vec::new(); g.degree(graphs::NodeId::from_index(v))])
             .collect();
-        let out = net.run("elx_empty", &EdgeListExchange::new(), inputs).unwrap();
+        let out = net
+            .run("elx_empty", &EdgeListExchange::new(), inputs)
+            .unwrap();
         assert!(out
             .outputs
             .iter()
@@ -256,7 +252,9 @@ mod tests {
             vec![(0..k).collect::<Vec<u64>>()],
             vec![(100..100 + k).collect::<Vec<u64>>()],
         ];
-        let out = net.run("elx_long", &EdgeListExchange::new(), inputs).unwrap();
+        let out = net
+            .run("elx_long", &EdgeListExchange::new(), inputs)
+            .unwrap();
         assert_eq!(out.outputs[0][0], (100..100 + k).collect::<Vec<u64>>());
         assert_eq!(out.outputs[1][0], (0..k).collect::<Vec<u64>>());
         assert!(out.metrics.rounds <= k + 3);

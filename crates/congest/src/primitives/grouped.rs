@@ -84,7 +84,10 @@ impl GsState {
                 total += s.buf.pop_front().expect("front exists").value;
             }
         }
-        Some(KeyedSum { key: k, value: total })
+        Some(KeyedSum {
+            key: k,
+            value: total,
+        })
     }
 
     fn exhausted(&self) -> bool {
@@ -98,7 +101,11 @@ impl Algorithm for GroupedSum {
     type Msg = StreamMsg<KeyedSum>;
     type Output = Option<Vec<(u32, u64)>>;
 
-    fn boot(&self, ctx: &NodeCtx<'_>, (tree, mut items): Self::Input) -> (GsState, Outbox<Self::Msg>) {
+    fn boot(
+        &self,
+        ctx: &NodeCtx<'_>,
+        (tree, mut items): Self::Input,
+    ) -> (GsState, Outbox<Self::Msg>) {
         // Sort + merge duplicates in the node's own contribution.
         items.sort_unstable_by_key(|&(k, _)| k);
         let mut own = VecDeque::with_capacity(items.len());
@@ -282,7 +289,9 @@ mod tests {
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> =
             trees.into_iter().map(|t| (t, vec![])).collect();
-        let out = net.run("grouped_empty", &GroupedSum::new(), inputs).unwrap();
+        let out = net
+            .run("grouped_empty", &GroupedSum::new(), inputs)
+            .unwrap();
         assert_eq!(out.outputs[0], Some(vec![]));
     }
 }

@@ -1,0 +1,371 @@
+//! Pipelined grouped **argmin**: every node holds keyed items; each root
+//! ends up with the best item per key over its tree. Streams travel in
+//! sorted key order and are merge-reduced on the way up, so `k` distinct
+//! keys cost `O(k + height)` rounds — the same pipelining argument as
+//! [`crate::primitives::grouped::GroupedSum`].
+//!
+//! This is the aggregation pattern of the Borůvka-over-BFS-tree phase of
+//! the distributed MST: every node proposes its minimum-key outgoing edge
+//! per fragment, and the leader receives, for each fragment, the global
+//! minimum proposal.
+
+use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::message::{value_bits, Message, TAG_BITS};
+use crate::node::{NodeCtx, Port, TreeInfo};
+use crate::primitives::broadcast::StreamMsg;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+
+/// An item with a group key and a total preference order within the key.
+pub trait KeyedItem: Message {
+    /// The group key.
+    fn key(&self) -> u32;
+
+    /// Returns `true` if `self` is strictly preferable to `other`
+    /// (callers must ensure a strict total order within each key for
+    /// deterministic results).
+    fn better_than(&self, other: &Self) -> bool;
+}
+
+/// A ready-made keyed item: minimum `value` wins, ties broken by `tag`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyedMin {
+    /// Group key.
+    pub key: u32,
+    /// Value to minimise.
+    pub value: u64,
+    /// Deterministic tie-break (e.g. an edge id).
+    pub tag: u64,
+}
+
+impl Message for KeyedMin {
+    fn bit_len(&self) -> usize {
+        TAG_BITS + value_bits(self.key as u64) + value_bits(self.value) + value_bits(self.tag)
+    }
+}
+
+impl KeyedItem for KeyedMin {
+    fn key(&self) -> u32 {
+        self.key
+    }
+    fn better_than(&self, other: &Self) -> bool {
+        (self.value, self.tag) < (other.value, other.tag)
+    }
+}
+
+/// The grouped-argmin phase. Input per node: `(TreeInfo, Vec<T>)` (any
+/// order, duplicate keys allowed); output: `Some(best item per key, sorted
+/// by key)` at each root, `None` elsewhere.
+#[derive(Clone, Debug, Default)]
+pub struct GroupedBest<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> GroupedBest<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        GroupedBest {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// One incoming stream (a child's, or the node's own input).
+#[derive(Debug)]
+struct Stream<T> {
+    buf: VecDeque<T>,
+    ended: bool,
+}
+
+impl<T> Default for Stream<T> {
+    fn default() -> Self {
+        Stream {
+            buf: VecDeque::new(),
+            ended: false,
+        }
+    }
+}
+
+impl<T: KeyedItem> Stream<T> {
+    fn front_key(&self) -> Option<u32> {
+        self.buf.front().map(KeyedItem::key)
+    }
+    fn ready(&self) -> bool {
+        self.ended || !self.buf.is_empty()
+    }
+}
+
+/// Node state for [`GroupedBest`].
+#[derive(Debug)]
+pub struct GbState<T> {
+    tree: TreeInfo,
+    /// Slot 0 = own input; 1.. = children in `tree.children` order.
+    streams: Vec<Stream<T>>,
+    /// Port → stream slot.
+    slot_of_port: Vec<usize>,
+    /// Root only: accumulated output.
+    out: Vec<T>,
+    end_sent: bool,
+}
+
+impl<T: KeyedItem> GbState<T> {
+    /// If every stream is ready and some key is buffered, pops the
+    /// minimal key from all streams and reduces to the best item.
+    fn try_pop_min(&mut self) -> Option<T> {
+        if !self.streams.iter().all(Stream::ready) {
+            return None;
+        }
+        let k = self.streams.iter().filter_map(Stream::front_key).min()?;
+        let mut best: Option<T> = None;
+        for s in &mut self.streams {
+            while s.front_key() == Some(k) {
+                let item = s.buf.pop_front().expect("front exists");
+                best = match best {
+                    Some(b) if !item.better_than(&b) => Some(b),
+                    _ => Some(item),
+                };
+            }
+        }
+        best
+    }
+
+    fn exhausted(&self) -> bool {
+        self.streams.iter().all(|s| s.ended && s.buf.is_empty())
+    }
+}
+
+impl<T: KeyedItem> Algorithm for GroupedBest<T> {
+    type Input = (TreeInfo, Vec<T>);
+    type State = GbState<T>;
+    type Msg = StreamMsg<T>;
+    type Output = Option<Vec<T>>;
+
+    fn boot(
+        &self,
+        ctx: &NodeCtx<'_>,
+        (tree, mut items): Self::Input,
+    ) -> (GbState<T>, Outbox<Self::Msg>) {
+        // Sort + reduce duplicates in the node's own contribution.
+        items.sort_by(|a, b| {
+            a.key().cmp(&b.key()).then_with(|| {
+                if a.better_than(b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+        });
+        let mut own: VecDeque<T> = VecDeque::with_capacity(items.len());
+        for item in items {
+            match own.back() {
+                Some(last) if last.key() == item.key() => {} // worse duplicate
+                _ => own.push_back(item),
+            }
+        }
+        let mut streams = Vec::with_capacity(1 + tree.children.len());
+        streams.push(Stream {
+            buf: own,
+            ended: true, // the node's own input is complete from the start
+        });
+        let mut slot_of_port = vec![usize::MAX; ctx.degree()];
+        for (i, &c) in tree.children.iter().enumerate() {
+            slot_of_port[c.index()] = 1 + i;
+            streams.push(Stream::default());
+        }
+        (
+            GbState {
+                tree,
+                streams,
+                slot_of_port,
+                out: Vec::new(),
+                end_sent: false,
+            },
+            Outbox::new(),
+        )
+    }
+
+    fn round(
+        &self,
+        s: &mut GbState<T>,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(Port, StreamMsg<T>)],
+    ) -> Step<Self::Msg> {
+        for (port, msg) in inbox {
+            let slot = s.slot_of_port[port.index()];
+            debug_assert_ne!(slot, usize::MAX, "messages only arrive from children");
+            match msg {
+                StreamMsg::Item(p) => s.streams[slot].buf.push_back(p.clone()),
+                StreamMsg::End => s.streams[slot].ended = true,
+            }
+        }
+        match s.tree.parent {
+            None => {
+                while let Some(p) = s.try_pop_min() {
+                    s.out.push(p);
+                }
+                if s.exhausted() {
+                    Step::halt()
+                } else {
+                    Step::idle()
+                }
+            }
+            Some(parent) => {
+                let mut out = Outbox::new();
+                if let Some(p) = s.try_pop_min() {
+                    out.send(parent, StreamMsg::Item(p));
+                    Step::Continue(out)
+                } else if s.exhausted() && !s.end_sent {
+                    s.end_sent = true;
+                    out.send(parent, StreamMsg::End);
+                    Step::Halt(out)
+                } else {
+                    Step::idle()
+                }
+            }
+        }
+    }
+
+    fn finish(&self, s: GbState<T>, _ctx: &NodeCtx<'_>) -> Self::Output {
+        s.tree.parent.is_none().then_some(s.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::primitives::leader_bfs::LeaderBfs;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bfs_trees(g: &graphs::WeightedGraph, net: &mut Network<'_>) -> Vec<TreeInfo> {
+        net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .unwrap()
+            .outputs
+            .into_iter()
+            .map(|o| o.tree)
+            .collect()
+    }
+
+    fn naive_best(lists: &[Vec<KeyedMin>]) -> Vec<KeyedMin> {
+        let mut best: std::collections::BTreeMap<u32, KeyedMin> = std::collections::BTreeMap::new();
+        for l in lists {
+            for item in l {
+                match best.get(&item.key) {
+                    Some(b) if !item.better_than(b) => {}
+                    _ => {
+                        best.insert(item.key, item.clone());
+                    }
+                }
+            }
+        }
+        best.into_values().collect()
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [4usize, 12, 40] {
+            let g = generators::erdos_renyi_connected(n, 0.2, &mut rng).unwrap();
+            let mut net = Network::new(&g, NetworkConfig::default());
+            let trees = bfs_trees(&g, &mut net);
+            let lists: Vec<Vec<KeyedMin>> = (0..n)
+                .map(|v| {
+                    (0..rng.gen_range(0usize..5))
+                        .map(|i| KeyedMin {
+                            key: rng.gen_range(0u32..6),
+                            value: rng.gen_range(1u64..100),
+                            tag: (v * 10 + i) as u64,
+                        })
+                        .collect()
+                })
+                .collect();
+            let want = naive_best(&lists);
+            let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> =
+                trees.into_iter().zip(lists.iter().cloned()).collect();
+            let out = net
+                .run("grouped_best", &GroupedBest::new(), inputs)
+                .unwrap();
+            let got = out.outputs[0].clone().expect("root output");
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pipelines_many_keys_on_a_path() {
+        let n = 20;
+        let k = 25u32;
+        let g = generators::path(n).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| {
+                let items = if v == n - 1 {
+                    (0..k)
+                        .map(|key| KeyedMin {
+                            key,
+                            value: key as u64 + 1,
+                            tag: 0,
+                        })
+                        .collect()
+                } else {
+                    vec![]
+                };
+                (t, items)
+            })
+            .collect();
+        let out = net.run("gb_path", &GroupedBest::new(), inputs).unwrap();
+        assert_eq!(out.outputs[0].as_ref().unwrap().len(), k as usize);
+        assert!(
+            out.metrics.rounds <= (n as u64 - 1) + k as u64 + 4,
+            "rounds = {} (pipelining bound)",
+            out.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_reduce_to_the_minimum_with_tag_tiebreak() {
+        let g = generators::star(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> = trees
+            .into_iter()
+            .enumerate()
+            .map(|(v, t)| {
+                (
+                    t,
+                    vec![KeyedMin {
+                        key: 1,
+                        value: 5,
+                        tag: v as u64,
+                    }],
+                )
+            })
+            .collect();
+        let out = net.run("gb_dup", &GroupedBest::new(), inputs).unwrap();
+        let got = out.outputs[0].clone().unwrap();
+        assert_eq!(
+            got,
+            vec![KeyedMin {
+                key: 1,
+                value: 5,
+                tag: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_inputs_terminate() {
+        let g = generators::cycle(7).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default());
+        let trees = bfs_trees(&g, &mut net);
+        let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> =
+            trees.into_iter().map(|t| (t, vec![])).collect();
+        let out = net.run("gb_empty", &GroupedBest::new(), inputs).unwrap();
+        assert_eq!(out.outputs[0], Some(vec![]));
+    }
+}

@@ -237,10 +237,7 @@ impl Algorithm for LeaderBfs {
     }
 
     fn finish(&self, s: LeaderState, ctx: &NodeCtx<'_>) -> LeaderBfsOutput {
-        let children: Vec<Port> = ctx
-            .ports()
-            .filter(|p| s.children[p.index()])
-            .collect();
+        let children: Vec<Port> = ctx.ports().filter(|p| s.children[p.index()]).collect();
         LeaderBfsOutput {
             leader: NodeId::new(s.best),
             tree: TreeInfo {
@@ -287,7 +284,10 @@ mod tests {
         for (v, o) in outs.iter().enumerate() {
             for &c in &o.tree.children {
                 let child_id = g.neighbors(NodeId::from_index(v))[c.index()].neighbor;
-                let cp = outs[child_id.index()].tree.parent.expect("child has parent");
+                let cp = outs[child_id.index()]
+                    .tree
+                    .parent
+                    .expect("child has parent");
                 let back = g.neighbors(child_id)[cp.index()].neighbor;
                 assert_eq!(back, NodeId::from_index(v));
                 child_count += 1;
@@ -350,7 +350,9 @@ mod tests {
     fn messages_are_small() {
         let g = generators::grid2d(6, 6).unwrap();
         let mut net = Network::new(&g, NetworkConfig::default());
-        let out = net.run("leader_bfs", &LeaderBfs::new(), vec![(); 36]).unwrap();
+        let out = net
+            .run("leader_bfs", &LeaderBfs::new(), vec![(); 36])
+            .unwrap();
         assert!(out.metrics.max_message_bits <= net.bandwidth_bits());
     }
 }

@@ -10,6 +10,8 @@
 //!   (`O(k + height)` rounds).
 //! * [`grouped`] — pipelined grouped sums keyed by `u32`, merged in sorted
 //!   key order on the way up (`O(k + height)` rounds).
+//! * [`grouped_min`] — pipelined grouped argmin under the same pipelining
+//!   bound (the Borůvka-over-BFS aggregation of the distributed MST).
 //! * [`exchange`] — one-round neighbor exchange, and pipelined per-edge list
 //!   exchange (`O(k)` rounds).
 //!
@@ -23,6 +25,7 @@ pub mod broadcast;
 pub mod convergecast;
 pub mod exchange;
 pub mod grouped;
+pub mod grouped_min;
 pub mod leader_bfs;
 pub mod subtree;
 pub mod upcast;
@@ -31,6 +34,7 @@ pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
 pub use exchange::{EdgeListExchange, NeighborExchange};
 pub use grouped::GroupedSum;
+pub use grouped_min::{GroupedBest, KeyedItem, KeyedMin};
 pub use leader_bfs::{LeaderBfs, LeaderBfsOutput};
 pub use subtree::{KeyedSubtreeSum, SubtreeSums};
 pub use upcast::UpcastItems;

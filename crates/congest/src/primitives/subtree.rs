@@ -139,7 +139,10 @@ impl KsState {
                 total += s.buf.pop_front().expect("front exists").value;
             }
         }
-        Some(KeyedSum { key: k, value: total })
+        Some(KeyedSum {
+            key: k,
+            value: total,
+        })
     }
 
     fn exhausted(&self) -> bool {
@@ -153,7 +156,11 @@ impl Algorithm for KeyedSubtreeSum {
     type Msg = StreamMsg<KeyedSum>;
     type Output = u64;
 
-    fn boot(&self, ctx: &NodeCtx<'_>, (tree, mut items): Self::Input) -> (KsState, Outbox<Self::Msg>) {
+    fn boot(
+        &self,
+        ctx: &NodeCtx<'_>,
+        (tree, mut items): Self::Input,
+    ) -> (KsState, Outbox<Self::Msg>) {
         items.sort_unstable_by_key(|&(k, _)| k);
         let mut own = VecDeque::with_capacity(items.len());
         for (k, v) in items {
@@ -325,7 +332,10 @@ mod tests {
             .zip(tokens.iter())
             .map(|(o, t)| (o.tree.clone(), t.clone()))
             .collect();
-        let got = net.run("ks", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        let got = net
+            .run("ks", &KeyedSubtreeSum::new(), inputs)
+            .unwrap()
+            .outputs;
         assert_eq!(got, vec![6, 11, 9, 0, 3]);
     }
 
@@ -364,7 +374,10 @@ mod tests {
             .zip(tokens.iter())
             .map(|(o, t)| (o.tree.clone(), t.clone()))
             .collect();
-        let got = net.run("ks_rand", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        let got = net
+            .run("ks_rand", &KeyedSubtreeSum::new(), inputs)
+            .unwrap()
+            .outputs;
         assert_eq!(got, want);
     }
 
@@ -394,9 +407,11 @@ mod tests {
             vec![(3, 32)],
             vec![(4, 64), (5, 128)],
         ];
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> =
-            trees.into_iter().zip(tokens).collect();
-        let got = net.run("ks_forest", &KeyedSubtreeSum::new(), inputs).unwrap().outputs;
+        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = trees.into_iter().zip(tokens).collect();
+        let got = net
+            .run("ks_forest", &KeyedSubtreeSum::new(), inputs)
+            .unwrap()
+            .outputs;
         assert_eq!(got, vec![11, 4, 0, 48, 64, 128]);
     }
 }

@@ -47,12 +47,20 @@ impl<T: Message> Algorithm for UpcastItems<T> {
     type Msg = StreamMsg<T>;
     type Output = Option<Vec<T>>;
 
-    fn boot(&self, _ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (UpState<T>, Outbox<StreamMsg<T>>) {
+    fn boot(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        (tree, items): Self::Input,
+    ) -> (UpState<T>, Outbox<StreamMsg<T>>) {
         let open_children = tree.children.len();
         let is_root = tree.is_root();
         let state = UpState {
             tree,
-            queue: if is_root { VecDeque::new() } else { items.clone().into() },
+            queue: if is_root {
+                VecDeque::new()
+            } else {
+                items.clone().into()
+            },
             open_children,
             collected: if is_root { items } else { Vec::new() },
         };
@@ -177,9 +185,10 @@ mod tests {
         let g = generators::star(12).unwrap();
         let mut net = Network::new(&g, NetworkConfig::default());
         let trees = bfs_trees(&g, &mut net);
-        let inputs: Vec<(TreeInfo, Vec<u64>)> =
-            trees.into_iter().map(|t| (t, vec![])).collect();
-        let out = net.run("upcast_empty", &UpcastItems::new(), inputs).unwrap();
+        let inputs: Vec<(TreeInfo, Vec<u64>)> = trees.into_iter().map(|t| (t, vec![])).collect();
+        let out = net
+            .run("upcast_empty", &UpcastItems::new(), inputs)
+            .unwrap();
         assert_eq!(out.outputs[0], Some(vec![]));
     }
 
@@ -200,7 +209,9 @@ mod tests {
             (t(Some(0), vec![1], 1), vec![5]),
             (t(Some(0), vec![], 2), vec![6]),
         ];
-        let out = net.run("forest_upcast", &UpcastItems::new(), inputs).unwrap();
+        let out = net
+            .run("forest_upcast", &UpcastItems::new(), inputs)
+            .unwrap();
         let mut a = out.outputs[0].clone().unwrap();
         a.sort_unstable();
         assert_eq!(a, vec![1, 2, 3]);

@@ -1,0 +1,1393 @@
+//! The public entry point of the distributed pipeline:
+//! [`exact_mincut`] and its configuration/result types, plus the
+//! internal phase orchestration shared with [`crate::dist::approx`] and
+//! [`crate::dist::baselines`].
+//!
+//! The driver mirrors the sequential packing loop of
+//! [`crate::seq::tree_packing::packing_mincut`] exactly — same seed
+//! candidate (the minimum-weighted-degree singleton), same greedy trees
+//! (the relative-load MST is unique), same per-tree argmin, same
+//! stopping rule — so the distributed and sequential pipelines agree
+//! bit for bit, which the unit tests assert.
+//!
+//! Between phases the driver performs only **per-node-local**
+//! bookkeeping on each node's [`NodeMem`] (the engine's documented
+//! "persistent local memory" convention) and loop-termination decisions
+//! that a real deployment would obtain from an `O(D)` convergecast.
+
+use crate::dist::mst::{
+    ACand, BorCand, CandAgg, CompMsg, DecMsg, FragHook, FragMsg, HookInput, HookRole, MergeItem,
+    MstConfig, ReportItem,
+};
+use crate::dist::one_respect::{
+    AttItem, FragReroot, IntervalDown, IntervalInput, Intervals, NbMsg, PairItem, RerootInput,
+    SideFlood, SideInput, SideMsg, SizesUp, SumItem, TfRec, Token, TokensInput, TokensUp, TotItem,
+};
+use crate::dist::packing::{better, Cand, PackingTarget};
+use crate::seq::tree_packing::PackingConfig;
+use crate::MinCutError;
+use congest::primitives::convergecast::{Convergecast, MinPair, SumU64};
+use congest::primitives::leader_bfs::LeaderBfs;
+use congest::primitives::subtree::SubtreeSums;
+use congest::primitives::{
+    Broadcast, BroadcastItems, GroupedBest, GroupedSum, NeighborExchange, UpcastItems,
+};
+use congest::{MetricsLedger, Network, NetworkConfig, Port, TreeInfo};
+use graphs::{CutResult, NodeId, WeightedGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of [`exact_mincut`]: the network model, the packing
+/// policy, and the MST stage knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ExactConfig {
+    /// CONGEST model parameters (bandwidth `β`, strictness, round cap).
+    pub network: NetworkConfig,
+    /// Greedy tree packing policy (how many trees, mirroring the
+    /// sequential packing).
+    pub packing: PackingConfig,
+    /// Distributed MST stage knobs (fragment cap, coin seed).
+    pub mst: MstConfig,
+}
+
+/// Result of a distributed minimum-cut run.
+#[derive(Clone, Debug)]
+pub struct DistMinCutResult {
+    /// The best (minimum) cut found, with its verified value.
+    pub cut: CutResult,
+    /// Total CONGEST rounds across all phases — the headline cost.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Greedy trees packed.
+    pub trees_packed: usize,
+    /// 1-based index of the tree that first achieved the final value
+    /// (0 when the minimum-degree singleton was never beaten).
+    pub trees_to_best: usize,
+    /// The arg-min node of the winning 1-respecting cut (`None` when the
+    /// singleton won).
+    pub best_node: Option<NodeId>,
+    /// Per-phase metrics of the whole run.
+    pub ledger: MetricsLedger,
+}
+
+/// Runs the paper's exact distributed minimum-cut pipeline on `g`.
+///
+/// Packs greedy trees by relative load (Thorup) with a distributed
+/// `Õ(√n + D)` MST per tree, finds the minimum cut 1-respecting each
+/// tree via the Section-2 fragment machinery, and returns the best cut
+/// seen (also considering the minimum-degree singleton). With the
+/// default heuristic packing this is exact on every instance family in
+/// the test suite; Thorup's bound makes it exact with certainty at
+/// impractical tree counts.
+///
+/// # Errors
+///
+/// [`MinCutError::TooSmall`] for `n < 2`, [`MinCutError::Disconnected`]
+/// for disconnected inputs, [`MinCutError::InvalidConfig`] for `n`
+/// beyond the id-packing range, and [`MinCutError::Congest`] when the
+/// simulated network rejects the run (bandwidth violation in strict
+/// mode, round cap).
+pub fn exact_mincut(
+    g: &WeightedGraph,
+    config: &ExactConfig,
+) -> Result<DistMinCutResult, MinCutError> {
+    let outcome = run_pipeline(
+        g,
+        &PipelineOpts {
+            network: config.network.clone(),
+            mst: config.mst.clone(),
+            target: PackingTarget::TrackBest(config.packing.clone()),
+            sample: None,
+        },
+    )?;
+    Ok(DistMinCutResult {
+        cut: outcome.cut,
+        rounds: outcome.rounds,
+        messages: outcome.messages,
+        trees_packed: outcome.trees_packed,
+        trees_to_best: outcome.trees_to_best,
+        best_node: outcome.best_node,
+        ledger: outcome.ledger,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Internal pipeline
+// ---------------------------------------------------------------------------
+
+/// Options of one pipeline run (shared by exact, approx and baselines).
+#[derive(Clone, Debug)]
+pub(crate) struct PipelineOpts {
+    /// Network model parameters.
+    pub network: NetworkConfig,
+    /// MST stage knobs.
+    pub mst: MstConfig,
+    /// Packing-size policy.
+    pub target: PackingTarget,
+    /// `Some((p, seed))`: pack trees on the Karger skeleton sampled with
+    /// probability `p` (shared coins keyed by `(seed, edge id)`); cuts
+    /// are always *evaluated* with the original weights.
+    pub sample: Option<(f64, u64)>,
+}
+
+/// Outcome of one pipeline run.
+#[derive(Clone, Debug)]
+pub(crate) struct PipelineOutcome {
+    pub cut: CutResult,
+    pub trees_packed: usize,
+    pub trees_to_best: usize,
+    pub best_node: Option<NodeId>,
+    pub rounds: u64,
+    pub messages: u64,
+    pub ledger: MetricsLedger,
+}
+
+/// Per-node persistent local memory threaded through the phases.
+#[derive(Clone, Debug, Default)]
+struct NodeMem {
+    // -- static for the run (local knowledge) --
+    bfs: TreeInfo,
+    edge_ids: Vec<u32>,
+    weights: Vec<u64>,
+    pack_w: Vec<u64>,
+    delta: u64,
+    loads: Vec<u64>,
+    // -- per packed tree --
+    frag: u32,
+    comp: u32,
+    frozen: bool,
+    parent: Option<Port>,
+    tree_ports: BTreeSet<Port>,
+    inter_ports: BTreeSet<Port>,
+    inter_parent: Option<Port>,
+    inter_children: Vec<Port>,
+    port_frag: Vec<u32>,
+    port_frozen: Vec<bool>,
+    port_comp: Vec<u32>,
+    tf: Vec<TfRec>,
+    iv: Option<Intervals>,
+    att: BTreeMap<u32, u32>,
+    rho: u64,
+    cval: u64,
+    // -- snapshot of the best tree seen so far --
+    snap_parent: Option<Port>,
+    snap_children: Vec<Port>,
+}
+
+impl NodeMem {
+    /// The in-fragment tree info (fragment forest view).
+    fn ftree(&self) -> TreeInfo {
+        TreeInfo {
+            parent: self.parent,
+            children: self
+                .tree_ports
+                .iter()
+                .copied()
+                .filter(|p| Some(*p) != self.parent)
+                .collect(),
+            depth: 0,
+        }
+    }
+
+    /// The global-tree parent port (in-fragment parent, or the
+    /// inter-fragment edge at a fragment root; `None` at the leader).
+    fn t_parent(&self) -> Option<Port> {
+        self.parent.or(self.inter_parent)
+    }
+
+    /// The global-tree child ports (in-fragment children plus attached
+    /// child-fragment connectors).
+    fn t_children(&self) -> Vec<Port> {
+        let mut c = self.ftree().children;
+        c.extend(self.inter_children.iter().copied());
+        c.sort_unstable();
+        c
+    }
+
+    /// The port carrying global edge id `e`, if incident.
+    fn port_of_edge(&self, e: u32) -> Option<Port> {
+        self.edge_ids
+            .iter()
+            .position(|&x| x == e)
+            .map(|i| Port(i as u32))
+    }
+}
+
+/// The pipeline state: the simulated network plus every node's memory.
+struct Pipeline<'g> {
+    g: &'g WeightedGraph,
+    net: Network<'g>,
+    mst: MstConfig,
+    mems: Vec<NodeMem>,
+    leader: NodeId,
+    n: usize,
+}
+
+impl<'g> Pipeline<'g> {
+    /// Elects the leader, builds its BFS tree, and initialises every
+    /// node's static memory.
+    fn new(
+        g: &'g WeightedGraph,
+        network: NetworkConfig,
+        mst: MstConfig,
+        pack_edge: &[u64],
+    ) -> Result<Self, MinCutError> {
+        let n = g.node_count();
+        let mut net = Network::new(g, network);
+        let bfs = net.run("leader_bfs", &LeaderBfs::new(), vec![(); n])?;
+        let leader = bfs.outputs[0].leader;
+        let mems = g
+            .nodes()
+            .map(|v| {
+                let adj = g.neighbors(v);
+                NodeMem {
+                    bfs: bfs.outputs[v.index()].tree.clone(),
+                    edge_ids: adj.iter().map(|a| a.edge.raw()).collect(),
+                    weights: adj.iter().map(|a| a.weight).collect(),
+                    pack_w: adj.iter().map(|a| pack_edge[a.edge.index()]).collect(),
+                    delta: g.weighted_degree(v),
+                    loads: vec![0; adj.len()],
+                    ..Default::default()
+                }
+            })
+            .collect();
+        Ok(Pipeline {
+            g,
+            net,
+            mst,
+            mems,
+            leader,
+            n,
+        })
+    }
+
+    /// The minimum-weighted-degree singleton: the packing's seed
+    /// candidate and initial `λ̂`, via one convergecast.
+    fn init_deg(&mut self) -> Result<(u64, NodeId), MinCutError> {
+        let inputs: Vec<(TreeInfo, MinPair)> = self
+            .mems
+            .iter()
+            .enumerate()
+            .map(|(v, m)| (m.bfs.clone(), MinPair(m.delta, v as u64)))
+            .collect();
+        let out = self.net.run("init.deg", &Convergecast::new(), inputs)?;
+        let MinPair(d, v) = out.outputs[self.leader.index()].expect("leader is the BFS root");
+        Ok((d, NodeId::new(v as u32)))
+    }
+
+    /// Resets the per-tree memory before packing the next tree.
+    fn reset_tree(&mut self) {
+        for (v, m) in self.mems.iter_mut().enumerate() {
+            let deg = m.edge_ids.len();
+            m.frag = v as u32;
+            m.comp = v as u32;
+            m.frozen = false;
+            m.parent = None;
+            m.tree_ports.clear();
+            m.inter_ports.clear();
+            m.inter_parent = None;
+            m.inter_children.clear();
+            m.port_frag = vec![0; deg];
+            m.port_frozen = vec![false; deg];
+            m.port_comp = vec![0; deg];
+            m.tf.clear();
+            m.iv = None;
+            m.att.clear();
+            m.rho = 0;
+            m.cval = 0;
+        }
+    }
+
+    /// The local best packing candidate of node `v`: the minimum-key
+    /// incident edge leaving `v`'s group, where `mine` is `v`'s group
+    /// label and `port_labels[p]` the label across port `p` (fragments
+    /// in phase A, components in phase B). Returns the port too.
+    fn local_cand(&self, v: usize, mine: u32, port_labels: &[u32]) -> Option<(Port, Cand)> {
+        let m = &self.mems[v];
+        let mut best: Option<(Port, Cand)> = None;
+        for (p, &other) in port_labels.iter().enumerate() {
+            if other != mine && m.pack_w[p] > 0 {
+                let cand = Cand {
+                    load: m.loads[p],
+                    weight: m.pack_w[p],
+                    edge: m.edge_ids[p],
+                };
+                if better(best.map(|(_, c)| c), Some(cand)) == Some(cand) {
+                    best = Some((Port(p as u32), cand));
+                }
+            }
+        }
+        best
+    }
+
+    /// Phase A: capped fragment growth. See [`crate::dist::mst`].
+    ///
+    /// Frozen fragments sit out the candidate/decision sub-phases (their
+    /// members halt instantly on singleton forest inputs), so a level's
+    /// cost is bounded by the *unfrozen* fragment diameter — below the
+    /// cap by definition — plus the hook handshake.
+    fn mst_phase_a(&mut self) -> Result<(), MinCutError> {
+        let cap = self.mst.effective_cap(self.n);
+        for level in 0..self.mst.max_levels {
+            let frags: BTreeSet<u32> = self.mems.iter().map(|m| m.frag).collect();
+            if frags.len() == 1 || self.mems.iter().all(|m| m.frozen) {
+                return Ok(());
+            }
+            // Exchange fragment ids + frozen flags.
+            let name = format!("mstA.l{level}.exch");
+            let out = self.net.run(
+                &name,
+                &NeighborExchange::new(),
+                self.mems
+                    .iter()
+                    .map(|m| FragMsg {
+                        frag: m.frag,
+                        frozen: m.frozen,
+                    })
+                    .collect(),
+            )?;
+            for (m, o) in self.mems.iter_mut().zip(out.outputs) {
+                let msgs: Vec<FragMsg> = o
+                    .into_iter()
+                    .map(|x| x.expect("every neighbor sends"))
+                    .collect();
+                m.port_frag = msgs.iter().map(|f| f.frag).collect();
+                m.port_frozen = msgs.iter().map(|f| f.frozen).collect();
+            }
+            // Fragment minimum outgoing candidates + sizes (unfrozen
+            // fragments only).
+            let inputs: Vec<(TreeInfo, CandAgg)> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    if m.frozen {
+                        (
+                            TreeInfo::default(),
+                            CandAgg {
+                                size: 0,
+                                cand: None,
+                            },
+                        )
+                    } else {
+                        let cand = self
+                            .local_cand(v, m.frag, &m.port_frag)
+                            .map(|(p, c)| ACand {
+                                cand: c,
+                                target_frozen: m.port_frozen[p.index()],
+                            });
+                        (m.ftree(), CandAgg { size: 1, cand })
+                    }
+                })
+                .collect();
+            let name = format!("mstA.l{level}.cand");
+            let out = self.net.run(&name, &Convergecast::new(), inputs)?;
+            // Roots of unfrozen fragments decide: hook when tails (the
+            // mating coin) or when the target is frozen (always safe —
+            // frozen fragments never re-root).
+            let mut decisions: BTreeMap<u32, DecMsg> = BTreeMap::new();
+            let mut any_hook = false;
+            for (v, agg) in out.outputs.iter().enumerate() {
+                let m = &self.mems[v];
+                if let Some(agg) = agg {
+                    if m.frozen {
+                        continue;
+                    }
+                    let frozen = agg.size >= cap as u64;
+                    let tails = !self.mst.heads(m.frag, level);
+                    let hook_edge = if !frozen {
+                        agg.cand
+                            .filter(|c| tails || c.target_frozen)
+                            .map(|c| c.cand.edge)
+                    } else {
+                        None
+                    };
+                    any_hook |= hook_edge.is_some();
+                    decisions.insert(m.frag, DecMsg { frozen, hook_edge });
+                }
+            }
+            // Broadcast decisions down the unfrozen fragment trees
+            // (frozen members run a 1-round dummy and stay frozen).
+            let dummy = DecMsg {
+                frozen: true,
+                hook_edge: None,
+            };
+            let inputs: Vec<(TreeInfo, Option<DecMsg>)> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    if m.frozen {
+                        (TreeInfo::default(), Some(dummy))
+                    } else {
+                        let dec = m.ftree().is_root().then(|| decisions[&m.frag]);
+                        (m.ftree(), dec)
+                    }
+                })
+                .collect();
+            let name = format!("mstA.l{level}.dec");
+            let out = self.net.run(&name, &Broadcast::new(), inputs)?;
+            let decs = out.outputs;
+            for (m, d) in self.mems.iter_mut().zip(decs.iter()) {
+                m.frozen = d.frozen;
+            }
+            if !any_hook {
+                continue;
+            }
+            // Hook handshake + re-root floods.
+            let inputs: Vec<(HookInput, u32)> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    let dec = &decs[v];
+                    let role = match dec.hook_edge {
+                        Some(e) => match m.port_of_edge(e) {
+                            Some(p) if m.port_frag[p.index()] != m.frag => HookRole::Connector {
+                                port: p,
+                                target_frag: m.port_frag[p.index()],
+                            },
+                            _ => HookRole::Await,
+                        },
+                        None => HookRole::Passive,
+                    };
+                    // A fragment that is itself hooking must not accept
+                    // (that is what keeps hook chains at length one).
+                    let eligible =
+                        m.frozen || (self.mst.heads(m.frag, level) && dec.hook_edge.is_none());
+                    (
+                        HookInput {
+                            tree_ports: m.tree_ports.iter().copied().collect(),
+                            role,
+                            eligible,
+                            frozen: m.frozen,
+                        },
+                        m.frag,
+                    )
+                })
+                .collect();
+            let name = format!("mstA.l{level}.hook");
+            let out = self.net.run(&name, &FragHook, inputs)?;
+            for (m, h) in self.mems.iter_mut().zip(out.outputs) {
+                if let Some((f, fz)) = h.new_frag {
+                    m.frag = f;
+                    m.frozen = fz;
+                    m.parent = h.new_parent;
+                    if let Some(p) = h.new_parent {
+                        m.tree_ports.insert(p);
+                    }
+                }
+                for p in h.accepted {
+                    m.tree_ports.insert(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase B: Borůvka over the BFS tree, components merged at the
+    /// leader. Returns the leader's `T_F` edge reports.
+    fn mst_phase_b(&mut self) -> Result<Vec<ReportItem>, MinCutError> {
+        for m in self.mems.iter_mut() {
+            m.comp = m.frag;
+        }
+        let mut iter = 0usize;
+        loop {
+            // Exchange (component, fragment) labels.
+            let name = format!("mstB.i{iter}.exch");
+            let out = self.net.run(
+                &name,
+                &NeighborExchange::new(),
+                self.mems
+                    .iter()
+                    .map(|m| CompMsg {
+                        comp: m.comp,
+                        frag: m.frag,
+                    })
+                    .collect(),
+            )?;
+            for (m, o) in self.mems.iter_mut().zip(out.outputs) {
+                let pairs: Vec<CompMsg> = o
+                    .into_iter()
+                    .map(|x| x.expect("every neighbor sends"))
+                    .collect();
+                m.port_comp = pairs.iter().map(|c| c.comp).collect();
+                m.port_frag = pairs.iter().map(|c| c.frag).collect();
+            }
+            // Per-component minimum outgoing candidates to the leader.
+            let inputs: Vec<(TreeInfo, Vec<BorCand>)> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    let items = self
+                        .local_cand(v, m.comp, &m.port_comp)
+                        .map(|(p, c)| {
+                            vec![BorCand {
+                                comp: m.comp,
+                                cand: c,
+                                other_comp: m.port_comp[p.index()],
+                            }]
+                        })
+                        .unwrap_or_default();
+                    (m.bfs.clone(), items)
+                })
+                .collect();
+            let name = format!("mstB.i{iter}.cand");
+            let out = self.net.run(&name, &GroupedBest::new(), inputs)?;
+            let cands = out.outputs[self.leader.index()]
+                .clone()
+                .expect("leader is the BFS root");
+            if cands.is_empty() {
+                // No outgoing edge anywhere: the MST is complete.
+                break;
+            }
+            // The leader merges components and announces the result.
+            let mut dsu = trees::DisjointSets::new(self.n);
+            let live: BTreeSet<u32> = cands.iter().flat_map(|c| [c.comp, c.other_comp]).collect();
+            let mut chosen: BTreeSet<u32> = BTreeSet::new();
+            for c in &cands {
+                dsu.union(c.comp as usize, c.other_comp as usize);
+                chosen.insert(c.cand.edge);
+            }
+            // Deterministic representative: the smallest member id.
+            let mut rep: BTreeMap<usize, u32> = BTreeMap::new();
+            for &c in &live {
+                let r = dsu.find(c as usize);
+                let e = rep.entry(r).or_insert(c);
+                *e = (*e).min(c);
+            }
+            let mut items: Vec<MergeItem> = Vec::new();
+            for &c in &live {
+                let to = rep[&dsu.find(c as usize)];
+                if to != c {
+                    items.push(MergeItem::Remap { from: c, to });
+                }
+            }
+            items.extend(chosen.iter().map(|&edge| MergeItem::Chosen { edge }));
+            let inputs: Vec<(TreeInfo, Vec<MergeItem>)> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    let list = if v == self.leader.index() {
+                        items.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    (m.bfs.clone(), list)
+                })
+                .collect();
+            let name = format!("mstB.i{iter}.merge");
+            let out = self.net.run(&name, &BroadcastItems::new(), inputs)?;
+            for (m, received) in self.mems.iter_mut().zip(out.outputs) {
+                for item in &received {
+                    match *item {
+                        MergeItem::Remap { from, to } => {
+                            if m.comp == from {
+                                m.comp = to;
+                            }
+                        }
+                        MergeItem::Chosen { edge } => {
+                            if let Some(p) = m.port_of_edge(edge) {
+                                m.inter_ports.insert(p);
+                            }
+                        }
+                    }
+                }
+            }
+            iter += 1;
+            if iter > self.n {
+                return Err(MinCutError::InvalidConfig {
+                    reason: "distributed MST failed to converge (disconnected packing graph?)"
+                        .to_string(),
+                });
+            }
+        }
+        // Chosen-edge endpoints report their side so the leader can
+        // assemble T_F with exact endpoints.
+        let inputs: Vec<(TreeInfo, Vec<ReportItem>)> = (0..self.n)
+            .map(|v| {
+                let m = &self.mems[v];
+                let items = m
+                    .inter_ports
+                    .iter()
+                    .map(|p| ReportItem {
+                        edge: m.edge_ids[p.index()],
+                        frag: m.frag,
+                        node: v as u32,
+                    })
+                    .collect();
+                (m.bfs.clone(), items)
+            })
+            .collect();
+        let out = self.net.run("mstB.report", &UpcastItems::new(), inputs)?;
+        Ok(out.outputs[self.leader.index()]
+            .clone()
+            .expect("leader is the BFS root"))
+    }
+
+    /// Orientation: the leader roots `T_F` at its own fragment,
+    /// broadcasts the table, and every fragment re-roots at its
+    /// connector.
+    fn orient(&mut self, reports: Vec<ReportItem>) -> Result<(), MinCutError> {
+        // Leader-local: assemble and root T_F.
+        let mut by_edge: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
+        for r in &reports {
+            by_edge.entry(r.edge).or_default().push((r.frag, r.node));
+        }
+        let mut adj: BTreeMap<u32, Vec<(u32, u32, u32, u32)>> = BTreeMap::new();
+        for (&edge, ends) in &by_edge {
+            debug_assert_eq!(ends.len(), 2, "each chosen edge has two reports");
+            let (f1, x1) = ends[0];
+            let (f2, x2) = ends[1];
+            adj.entry(f1).or_default().push((f2, edge, x1, x2));
+            adj.entry(f2).or_default().push((f1, edge, x2, x1));
+        }
+        let root_frag = self.mems[self.leader.index()].frag;
+        let mut recs: Vec<TfRec> = Vec::new();
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        seen.insert(root_frag);
+        let mut queue: std::collections::VecDeque<u32> = [root_frag].into();
+        while let Some(pf) = queue.pop_front() {
+            for &(gf, edge, a, c) in adj.get(&pf).into_iter().flatten() {
+                if seen.insert(gf) {
+                    recs.push(TfRec {
+                        frag: gf,
+                        parent: pf,
+                        c,
+                        a,
+                        edge,
+                    });
+                    queue.push_back(gf);
+                }
+            }
+        }
+        // Broadcast the table over the BFS tree.
+        let inputs: Vec<(TreeInfo, Vec<TfRec>)> = (0..self.n)
+            .map(|v| {
+                let list = if v == self.leader.index() {
+                    recs.clone()
+                } else {
+                    Vec::new()
+                };
+                (self.mems[v].bfs.clone(), list)
+            })
+            .collect();
+        let out = self.net.run("orient.tf", &BroadcastItems::new(), inputs)?;
+        for (m, table) in self.mems.iter_mut().zip(out.outputs) {
+            m.tf = table;
+        }
+        // Per-node roles derived from the table (local).
+        let leader_idx = self.leader.index();
+        for (v, m) in self.mems.iter_mut().enumerate() {
+            let me = v as u32;
+            m.inter_parent =
+                m.tf.iter()
+                    .find(|r| r.c == me)
+                    .map(|r| m.port_of_edge(r.edge).expect("connector owns its edge"));
+            m.inter_children =
+                m.tf.iter()
+                    .filter(|r| r.a == me)
+                    .map(|r| m.port_of_edge(r.edge).expect("attachment owns its edge"))
+                    .collect();
+            m.inter_children.sort_unstable();
+            let _ = leader_idx;
+        }
+        // Re-root every fragment at its connector (the leader for the
+        // root fragment).
+        let inputs: Vec<RerootInput> = (0..self.n)
+            .map(|v| {
+                let m = &self.mems[v];
+                RerootInput {
+                    tree_ports: m.tree_ports.iter().copied().collect(),
+                    initiator: v == leader_idx || m.inter_parent.is_some(),
+                }
+            })
+            .collect();
+        let out = self.net.run("orient.flood", &FragReroot, inputs)?;
+        for (m, parent) in self.mems.iter_mut().zip(out.outputs) {
+            m.parent = parent;
+        }
+        Ok(())
+    }
+
+    /// The Section-2 cut stage on the current tree: every node ends up
+    /// with `C(v↓)`; returns the leader's `(min, argmin)` over `v ≠ root`.
+    fn cut_stage(&mut self) -> Result<(u64, NodeId), MinCutError> {
+        let n = self.n;
+        // s2a: in-fragment subtree sizes.
+        let inputs: Vec<TreeInfo> = self.mems.iter().map(NodeMem::ftree).collect();
+        let sizes = self.net.run("s2a", &SizesUp, inputs)?.outputs;
+        // s2b: in-fragment Euler intervals.
+        let inputs: Vec<IntervalInput> = self
+            .mems
+            .iter()
+            .zip(sizes.iter())
+            .map(|(m, (size, child_sizes))| IntervalInput {
+                tree: m.ftree(),
+                size: *size,
+                child_sizes: child_sizes.clone(),
+            })
+            .collect();
+        let ivs = self.net.run("s2b", &IntervalDown, inputs)?.outputs;
+        for (m, iv) in self.mems.iter_mut().zip(ivs) {
+            m.iv = Some(iv);
+        }
+        // s2c: gather + spread the attachment in-times per fragment.
+        let inputs: Vec<(TreeInfo, Vec<AttItem>)> = (0..n)
+            .map(|v| {
+                let m = &self.mems[v];
+                let items = if m.inter_children.is_empty() {
+                    vec![]
+                } else {
+                    vec![AttItem {
+                        node: v as u32,
+                        in_t: m.iv.as_ref().expect("intervals set").in_t as u32,
+                    }]
+                };
+                (m.ftree(), items)
+            })
+            .collect();
+        let up = self.net.run("s2c.up", &UpcastItems::new(), inputs)?.outputs;
+        let inputs: Vec<(TreeInfo, Vec<AttItem>)> = (0..n)
+            .map(|v| (self.mems[v].ftree(), up[v].clone().unwrap_or_default()))
+            .collect();
+        let down = self
+            .net
+            .run("s2c.down", &BroadcastItems::new(), inputs)?
+            .outputs;
+        for (m, list) in self.mems.iter_mut().zip(down) {
+            m.att = list.into_iter().map(|a| (a.node, a.in_t)).collect();
+        }
+        // s3: per-edge exchange of (fragment, in-time).
+        let out = self.net.run(
+            "s3",
+            &NeighborExchange::new(),
+            self.mems
+                .iter()
+                .map(|m| NbMsg {
+                    frag: m.frag,
+                    in_t: m.iv.as_ref().expect("intervals set").in_t as u32,
+                })
+                .collect(),
+        )?;
+        let nb: Vec<Vec<NbMsg>> = out
+            .outputs
+            .into_iter()
+            .map(|o| {
+                o.into_iter()
+                    .map(|x| x.expect("every neighbor sends"))
+                    .collect()
+            })
+            .collect();
+        // Local LCA case analysis (chains are derived from the broadcast
+        // T_F table, which every node holds).
+        let tf_table: Vec<TfRec> = self.mems[self.leader.index()].tf.clone();
+        let tf_parent: BTreeMap<u32, TfRec> = tf_table.iter().map(|r| (r.frag, *r)).collect();
+        let chain = |f: u32| -> Vec<u32> {
+            let mut c = vec![f];
+            let mut cur = f;
+            while let Some(r) = tf_parent.get(&cur) {
+                cur = r.parent;
+                c.push(cur);
+            }
+            c
+        };
+        let chains: BTreeMap<u32, Vec<u32>> = self
+            .mems
+            .iter()
+            .map(|m| m.frag)
+            .chain(self.mems.iter().flat_map(|m| m.port_frag.iter().copied()))
+            .map(|f| (f, chain(f)))
+            .collect();
+        let deepest_common = |a: &[u32], b: &[u32]| -> u32 {
+            let mut last = *a.last().expect("chains end at the root fragment");
+            let mut i = a.len();
+            let mut j = b.len();
+            while i > 0 && j > 0 && a[i - 1] == b[j - 1] {
+                last = a[i - 1];
+                i -= 1;
+                j -= 1;
+            }
+            last
+        };
+        let child_below = |chain: &[u32], fstar: u32| -> u32 {
+            let pos = chain
+                .iter()
+                .position(|&f| f == fstar)
+                .expect("fstar on chain");
+            debug_assert!(pos > 0, "child_below of the chain's own fragment");
+            chain[pos - 1]
+        };
+        let mut tokens: Vec<Vec<Token>> = vec![Vec::new(); n];
+        let mut pairs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let m = &self.mems[v];
+            let iv = m.iv.as_ref().expect("intervals set");
+            let my_chain = &chains[&m.frag];
+            let mut add_rho = 0u64;
+            for (p, &other) in nb[v].iter().enumerate() {
+                let w = m.weights[p];
+                if other.frag == m.frag {
+                    // Case 1 (same fragment): the deeper-in-preorder
+                    // endpoint routes a token toward the LCA.
+                    if iv.in_t > other.in_t as u64 {
+                        if iv.contains(other.in_t as u64) {
+                            add_rho += w;
+                        } else {
+                            tokens[v].push(Token {
+                                t_in: other.in_t,
+                                w,
+                            });
+                        }
+                    }
+                    continue;
+                }
+                let their_chain = &chains[&other.frag];
+                let fstar = deepest_common(my_chain, their_chain);
+                if fstar == m.frag {
+                    // Case 3 with the LCA in my fragment: target the
+                    // attachment of the other side's chain.
+                    let g_child = child_below(their_chain, fstar);
+                    let a = tf_parent[&g_child].a;
+                    let a_in = *m.att.get(&a).expect("attachment table covers a") as u64;
+                    if iv.contains(a_in) {
+                        add_rho += w;
+                    } else {
+                        tokens[v].push(Token {
+                            t_in: a_in as u32,
+                            w,
+                        });
+                    }
+                } else if fstar != other.frag {
+                    // Case 2: the LCA is a merging node in a third
+                    // fragment; aggregate by the attachment pair. The
+                    // smaller endpoint id emits.
+                    let nbr_id = self.g.neighbors(NodeId::from_index(v))[p].neighbor.raw();
+                    if (v as u32) < nbr_id {
+                        let a1 = tf_parent[&child_below(my_chain, fstar)].a;
+                        let a2 = tf_parent[&child_below(their_chain, fstar)].a;
+                        let (lo, hi) = (a1.min(a2), a1.max(a2));
+                        pairs[v].push((lo * n as u32 + hi, w));
+                    }
+                }
+                // fstar == other.frag: the other endpoint originates.
+            }
+            self.mems[v].rho += add_rho;
+        }
+        // s4a/s4b: merging-node contributions through the leader.
+        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = (0..n)
+            .map(|v| (self.mems[v].bfs.clone(), std::mem::take(&mut pairs[v])))
+            .collect();
+        let out = self.net.run("s4a", &GroupedSum::new(), inputs)?;
+        let pair_totals = out.outputs[self.leader.index()]
+            .clone()
+            .expect("leader is the BFS root");
+        let items: Vec<PairItem> = pair_totals
+            .into_iter()
+            .map(|(key, w)| PairItem {
+                a1: key / n as u32,
+                a2: key % n as u32,
+                w,
+            })
+            .collect();
+        let inputs: Vec<(TreeInfo, Vec<PairItem>)> = (0..n)
+            .map(|v| {
+                let list = if v == self.leader.index() {
+                    items.clone()
+                } else {
+                    Vec::new()
+                };
+                (self.mems[v].bfs.clone(), list)
+            })
+            .collect();
+        let out = self.net.run("s4b", &BroadcastItems::new(), inputs)?;
+        for (v, received) in out.outputs.into_iter().enumerate() {
+            let m = &mut self.mems[v];
+            let iv = m.iv.as_ref().expect("intervals set");
+            let mut add = 0u64;
+            for item in received {
+                let (Some(&i1), Some(&i2)) = (m.att.get(&item.a1), m.att.get(&item.a2)) else {
+                    continue;
+                };
+                let (i1, i2) = (i1 as u64, i2 as u64);
+                if iv.contains(i1) && iv.contains(i2) {
+                    let c1 = iv.child_containing(i1);
+                    let c2 = iv.child_containing(i2);
+                    if c1.is_none() || c1 != c2 {
+                        add += item.w;
+                    }
+                }
+            }
+            m.rho += add;
+        }
+        // s5: route case-1/3 tokens to their LCAs.
+        let inputs: Vec<TokensInput> = (0..n)
+            .map(|v| {
+                let m = &self.mems[v];
+                let iv = m.iv.as_ref().expect("intervals set");
+                TokensInput {
+                    tree: m.ftree(),
+                    iv: (iv.in_t, iv.out_t),
+                    tokens: std::mem::take(&mut tokens[v]),
+                }
+            })
+            .collect();
+        let out = self.net.run("s5", &TokensUp, inputs)?;
+        for (m, r) in self.mems.iter_mut().zip(out.outputs) {
+            m.rho += r;
+        }
+        // s5b: fragment totals (Σδ, Σρ) at fragment roots.
+        let inputs: Vec<(TreeInfo, (SumU64, SumU64))> = self
+            .mems
+            .iter()
+            .map(|m| (m.ftree(), (SumU64(m.delta), SumU64(m.rho))))
+            .collect();
+        let tots = self.net.run("s5b", &Convergecast::new(), inputs)?.outputs;
+        // s5c: totals to the leader.
+        let inputs: Vec<(TreeInfo, Vec<TotItem>)> = (0..n)
+            .map(|v| {
+                let m = &self.mems[v];
+                let items = tots[v]
+                    .map(|(d, r)| {
+                        vec![TotItem {
+                            frag: m.frag,
+                            d: d.0,
+                            r: r.0,
+                        }]
+                    })
+                    .unwrap_or_default();
+                (m.bfs.clone(), items)
+            })
+            .collect();
+        let out = self.net.run("s5c", &UpcastItems::new(), inputs)?;
+        let tot_items = out.outputs[self.leader.index()]
+            .clone()
+            .expect("leader is the BFS root");
+        // Leader-local: T_F subtree sums.
+        let tf = &self.mems[self.leader.index()].tf;
+        let tot_map: BTreeMap<u32, (u64, u64)> =
+            tot_items.iter().map(|t| (t.frag, (t.d, t.r))).collect();
+        let mut children_of: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for r in tf {
+            children_of.entry(r.parent).or_default().push(r.frag);
+        }
+        let mut sums: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        // Process fragments bottom-up: repeated passes are unnecessary —
+        // recurse iteratively with an explicit stack.
+        let root_frag = self.mems[self.leader.index()].frag;
+        let mut stack = vec![(root_frag, false)];
+        while let Some((f, expanded)) = stack.pop() {
+            if expanded {
+                let base = tot_map[&f];
+                let mut acc = base;
+                for c in children_of.get(&f).into_iter().flatten() {
+                    let s = sums[c];
+                    acc.0 += s.0;
+                    acc.1 += s.1;
+                }
+                sums.insert(f, acc);
+            } else {
+                stack.push((f, true));
+                for &c in children_of.get(&f).into_iter().flatten() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        // s5d: broadcast the subtree sums; attachments pick up their
+        // child fragments' masses.
+        let items: Vec<SumItem> = sums
+            .iter()
+            .map(|(&frag, &(sd, sr))| SumItem { frag, sd, sr })
+            .collect();
+        let inputs: Vec<(TreeInfo, Vec<SumItem>)> = (0..n)
+            .map(|v| {
+                let list = if v == self.leader.index() {
+                    items.clone()
+                } else {
+                    Vec::new()
+                };
+                (self.mems[v].bfs.clone(), list)
+            })
+            .collect();
+        let out = self.net.run("s5d", &BroadcastItems::new(), inputs)?;
+        let mut wd = vec![0u64; n];
+        let mut wr = vec![0u64; n];
+        for (v, received) in out.outputs.into_iter().enumerate() {
+            let m = &self.mems[v];
+            let smap: BTreeMap<u32, (u64, u64)> = received
+                .into_iter()
+                .map(|s| (s.frag, (s.sd, s.sr)))
+                .collect();
+            for r in &m.tf {
+                if r.a == v as u32 {
+                    let s = smap[&r.frag];
+                    wd[v] += s.0;
+                    wr[v] += s.1;
+                }
+            }
+        }
+        // s5e: in-fragment subtree sums of (δ + Wδ) and (ρ + Wρ) give
+        // the global δ↓ and ρ↓ at every node.
+        let inputs: Vec<(TreeInfo, u64)> = (0..n)
+            .map(|v| (self.mems[v].ftree(), self.mems[v].delta + wd[v]))
+            .collect();
+        let ddown = self
+            .net
+            .run("s5e.delta", &SubtreeSums::new(), inputs)?
+            .outputs;
+        let inputs: Vec<(TreeInfo, u64)> = (0..n)
+            .map(|v| (self.mems[v].ftree(), self.mems[v].rho + wr[v]))
+            .collect();
+        let rdown = self
+            .net
+            .run("s5e.rho", &SubtreeSums::new(), inputs)?
+            .outputs;
+        for (v, m) in self.mems.iter_mut().enumerate() {
+            let (d, r) = (ddown[v], rdown[v]);
+            debug_assert!(d >= 2 * r, "Karger identity underflow at node {v}");
+            m.cval = d - 2 * r;
+        }
+        // s5f: global argmin (the root's C is 0 by definition; excluded).
+        let inputs: Vec<(TreeInfo, MinPair)> = (0..n)
+            .map(|v| {
+                let c = if v == self.leader.index() {
+                    u64::MAX
+                } else {
+                    self.mems[v].cval
+                };
+                (self.mems[v].bfs.clone(), MinPair(c, v as u64))
+            })
+            .collect();
+        let out = self.net.run("s5f", &Convergecast::new(), inputs)?;
+        let MinPair(minc, argmin) =
+            out.outputs[self.leader.index()].expect("leader is the BFS root");
+        Ok((minc, NodeId::new(argmin as u32)))
+    }
+
+    /// Announces whether this tree improved the global best; improving
+    /// trees are snapshotted, and every node bumps the loads of its
+    /// incident tree edges.
+    fn finish_tree(&mut self, improved: bool) -> Result<(), MinCutError> {
+        let inputs: Vec<(TreeInfo, Option<bool>)> = (0..self.n)
+            .map(|v| {
+                let m = &self.mems[v];
+                (
+                    (v == self.leader.index()).then_some(improved),
+                    m.bfs.clone(),
+                )
+            })
+            .map(|(flag, bfs)| (bfs, flag))
+            .collect();
+        let out = self.net.run("s5g", &Broadcast::new(), inputs)?;
+        for (m, flag) in self.mems.iter_mut().zip(out.outputs) {
+            if flag {
+                m.snap_parent = m.t_parent();
+                m.snap_children = m.t_children();
+            }
+            let ports: Vec<Port> = m
+                .tree_ports
+                .iter()
+                .chain(m.inter_ports.iter())
+                .copied()
+                .collect();
+            for p in ports {
+                m.loads[p.index()] += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the winning side: a broadcast of the winner plus — for
+    /// subtree winners — one wave down the snapshotted tree.
+    fn side(
+        &mut self,
+        best_node: Option<NodeId>,
+        singleton: NodeId,
+    ) -> Result<Vec<bool>, MinCutError> {
+        let msg = SideMsg {
+            singleton: best_node.is_none(),
+            v: best_node.unwrap_or(singleton).raw(),
+        };
+        let inputs: Vec<(TreeInfo, Option<SideMsg>)> = (0..self.n)
+            .map(|v| {
+                (
+                    self.mems[v].bfs.clone(),
+                    (v == self.leader.index()).then_some(msg),
+                )
+            })
+            .collect();
+        let out = self.net.run("side.bc", &Broadcast::new(), inputs)?;
+        let announced = out.outputs;
+        if msg.singleton {
+            return Ok((0..self.n).map(|v| v as u32 == announced[v].v).collect());
+        }
+        let inputs: Vec<SideInput> = (0..self.n)
+            .map(|v| {
+                let m = &self.mems[v];
+                SideInput {
+                    parent: m.snap_parent,
+                    children: m.snap_children.clone(),
+                    vstar: announced[v].v,
+                }
+            })
+            .collect();
+        let out = self.net.run("side.flood", &SideFlood, inputs)?;
+        Ok(out.outputs)
+    }
+
+    /// The current tree's edge set (test/debug view assembled from the
+    /// per-node port markings).
+    #[cfg(test)]
+    fn tree_edges(&self) -> Vec<graphs::EdgeId> {
+        let mut edges: BTreeSet<u32> = BTreeSet::new();
+        for m in &self.mems {
+            for &p in m.tree_ports.iter().chain(m.inter_ports.iter()) {
+                edges.insert(m.edge_ids[p.index()]);
+            }
+        }
+        edges.into_iter().map(graphs::EdgeId::new).collect()
+    }
+}
+
+/// Runs the packing pipeline; see [`PipelineOpts`].
+pub(crate) fn run_pipeline(
+    g: &WeightedGraph,
+    opts: &PipelineOpts,
+) -> Result<PipelineOutcome, MinCutError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(MinCutError::TooSmall { nodes: n });
+    }
+    if n > u16::MAX as usize {
+        return Err(MinCutError::InvalidConfig {
+            reason: format!("n = {n} exceeds the 16-bit id packing of the pair aggregation"),
+        });
+    }
+    if !graphs::traversal::is_connected(g) {
+        return Err(MinCutError::Disconnected);
+    }
+    // Packing weights (skeleton or original), shared-coin sampled.
+    let pack_edge: Vec<u64> = match opts.sample {
+        None => g.edges().map(|e| g.weight(e)).collect(),
+        Some((p, seed)) => g
+            .edges()
+            .map(|e| crate::seq::sampling::binomial(g.weight(e), p, seed, e.raw() as u64))
+            .collect(),
+    };
+    // The packing subgraph must span the nodes.
+    {
+        let mut dsu = trees::DisjointSets::new(n);
+        for (e, u, v, _) in g.edge_tuples() {
+            if pack_edge[e.index()] > 0 {
+                dsu.union(u.index(), v.index());
+            }
+        }
+        if dsu.set_count() > 1 {
+            return Err(MinCutError::Disconnected);
+        }
+    }
+
+    let mut pl = Pipeline::new(g, opts.network.clone(), opts.mst.clone(), &pack_edge)?;
+    let (mut best_value, singleton) = pl.init_deg()?;
+    let mut best_node: Option<NodeId> = None;
+    let mut trees_to_best = 0usize;
+    let mut packed = 0usize;
+    while packed < opts.target.target(n, best_value) {
+        pl.reset_tree();
+        pl.mst_phase_a()?;
+        let reports = pl.mst_phase_b()?;
+        pl.orient(reports)?;
+        let (minc, argmin) = pl.cut_stage()?;
+        packed += 1;
+        let improved = minc < best_value;
+        if improved {
+            best_value = minc;
+            best_node = Some(argmin);
+            trees_to_best = packed;
+        }
+        pl.finish_tree(improved)?;
+    }
+    let side = pl.side(best_node, singleton)?;
+    let cut = CutResult {
+        side,
+        value: best_value,
+    };
+    debug_assert_eq!(
+        graphs::cut::cut_of_side(g, &cut.side),
+        cut.value,
+        "the announced side must evaluate to the announced value"
+    );
+    Ok(PipelineOutcome {
+        cut,
+        trees_packed: packed,
+        trees_to_best,
+        best_node,
+        rounds: pl.net.ledger().total_rounds(),
+        messages: pl.net.ledger().total_messages(),
+        ledger: pl.net.ledger().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::stoer_wagner;
+    use crate::seq::tree_packing::{greedy_packing, packing_mincut};
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts_fixed(k: usize) -> PipelineOpts {
+        PipelineOpts {
+            network: NetworkConfig::default(),
+            mst: MstConfig::default(),
+            target: PackingTarget::Fixed(k),
+            sample: None,
+        }
+    }
+
+    /// The distributed MST of every packing iteration equals the unique
+    /// sequential relative-load MST — same edges, same weight.
+    #[test]
+    fn distributed_mst_matches_sequential_packing_trees() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut cases = vec![
+            generators::torus2d(5, 5).unwrap(),
+            generators::clique_pair(8, 3).unwrap().graph,
+            generators::caterpillar(8, 2).unwrap(),
+        ];
+        let base = generators::erdos_renyi_connected(30, 0.2, &mut rng).unwrap();
+        cases.push(generators::randomize_weights(&base, 1, 8, &mut rng).unwrap());
+        for g in &cases {
+            let k = 3;
+            let want = greedy_packing(g, k).unwrap();
+            let pack_edge: Vec<u64> = g.edges().map(|e| g.weight(e)).collect();
+            let mut pl = Pipeline::new(
+                g,
+                NetworkConfig::default(),
+                MstConfig::default(),
+                &pack_edge,
+            )
+            .unwrap();
+            pl.init_deg().unwrap();
+            for tree_want in want.iter().take(k) {
+                pl.reset_tree();
+                pl.mst_phase_a().unwrap();
+                let reports = pl.mst_phase_b().unwrap();
+                pl.orient(reports).unwrap();
+                let got = pl.tree_edges();
+                let mut want_sorted = tree_want.clone();
+                want_sorted.sort_unstable();
+                assert_eq!(got, want_sorted, "n = {}", g.node_count());
+                // Weights agree with the sequential MST as well.
+                let got_w: u64 = got.iter().map(|&e| g.weight(e)).sum();
+                let want_w: u64 = want_sorted.iter().map(|&e| g.weight(e)).sum();
+                assert_eq!(got_w, want_w);
+                // Advance the loads exactly like the packing loop.
+                pl.cut_stage().unwrap();
+                pl.finish_tree(false).unwrap();
+            }
+        }
+    }
+
+    /// The distributed 1-respecting stage computes the same `C(v↓)` as
+    /// Karger's sequential dynamic program on the same tree.
+    #[test]
+    fn distributed_one_respecting_matches_karger_dp_oracle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cases = vec![
+            generators::cycle(17).unwrap(),
+            generators::grid2d(4, 6).unwrap(),
+            generators::torus2d(4, 4).unwrap(),
+            generators::clique_pair(7, 2).unwrap().graph,
+            generators::das_sarma_style(2, 8).unwrap(),
+        ];
+        for n in [14usize, 26] {
+            let base = generators::erdos_renyi_connected(n, 0.25, &mut rng).unwrap();
+            cases.push(generators::randomize_weights(&base, 1, 6, &mut rng).unwrap());
+        }
+        for g in &cases {
+            let pack_edge: Vec<u64> = g.edges().map(|e| g.weight(e)).collect();
+            let mut pl = Pipeline::new(
+                g,
+                NetworkConfig::default(),
+                MstConfig::default(),
+                &pack_edge,
+            )
+            .unwrap();
+            pl.init_deg().unwrap();
+            pl.reset_tree();
+            pl.mst_phase_a().unwrap();
+            let reports = pl.mst_phase_b().unwrap();
+            pl.orient(reports).unwrap();
+            let (minc, argmin) = pl.cut_stage().unwrap();
+            // Sequential oracle on the same tree, rooted at the leader.
+            let edges = pl.tree_edges();
+            let tree = trees::spanning::to_rooted(g, &edges, NodeId::new(0)).unwrap();
+            let cuts = crate::seq::karger_dp::one_respecting_cuts(g, &tree);
+            for (v, &want) in cuts.iter().enumerate() {
+                assert_eq!(
+                    pl.mems[v].cval,
+                    want,
+                    "C(v↓) mismatch at node {v} (n = {})",
+                    g.node_count()
+                );
+            }
+            let want = crate::seq::karger_dp::min_one_respecting(g, &tree).unwrap();
+            assert_eq!((minc, argmin), want);
+        }
+    }
+
+    /// Full parity with the sequential packing pipeline: same value,
+    /// same side, same tree counts.
+    #[test]
+    fn exact_mincut_mirrors_sequential_packing_mincut() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cases = vec![
+            generators::cycle(12).unwrap(),
+            generators::torus2d(4, 5).unwrap(),
+            generators::clique_pair(6, 2).unwrap().graph,
+        ];
+        let base = generators::erdos_renyi_connected(22, 0.25, &mut rng).unwrap();
+        cases.push(generators::randomize_weights(&base, 1, 5, &mut rng).unwrap());
+        for g in &cases {
+            let seq = packing_mincut(g, &PackingConfig::default()).unwrap();
+            let dist = exact_mincut(g, &ExactConfig::default()).unwrap();
+            assert_eq!(dist.cut.value, seq.cut.value);
+            assert_eq!(dist.cut.side, seq.cut.side);
+            assert_eq!(dist.trees_packed, seq.trees_packed);
+            assert_eq!(dist.trees_to_best, seq.trees_to_best);
+            assert_eq!(dist.best_node, seq.best_node);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let single = WeightedGraph::from_edges(1, []).unwrap();
+        assert!(matches!(
+            exact_mincut(&single, &ExactConfig::default()),
+            Err(MinCutError::TooSmall { nodes: 1 })
+        ));
+        let disconnected = WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert!(matches!(
+            exact_mincut(&disconnected, &ExactConfig::default()),
+            Err(MinCutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn two_node_graph_works() {
+        let g = WeightedGraph::from_edges(2, [(0, 1, 5)]).unwrap();
+        let r = exact_mincut(&g, &ExactConfig::default()).unwrap();
+        assert_eq!(r.cut.value, 5);
+        assert!(r.cut.is_proper());
+        assert_eq!(stoer_wagner(&g).unwrap().value, 5);
+    }
+
+    #[test]
+    fn fixed_packing_size_is_respected() {
+        let g = generators::torus2d(4, 4).unwrap();
+        let outcome = run_pipeline(
+            &g,
+            &PipelineOpts {
+                target: PackingTarget::Fixed(2),
+                ..opts_fixed(2)
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.trees_packed, 2);
+        assert!(outcome.cut.is_proper());
+    }
+}

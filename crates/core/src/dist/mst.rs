@@ -1,0 +1,569 @@
+//! The distributed minimum spanning tree, Kutten–Peleg style, as used by
+//! the greedy tree packing.
+//!
+//! The MST is built in two phases over whatever edge key the packing
+//! supplies (relative load, weight, edge id — a strict total order, so
+//! the MST is unique and equals the sequential
+//! [`trees::mst::kruskal_by`] tree):
+//!
+//! * **Phase A (`mstA.*`) — capped local growth.** Fragments grow by
+//!   Borůvka hooking with a size cap of `√n`: each level, every live
+//!   fragment finds its minimum outgoing edge (convergecast over the
+//!   fragment tree), flips a deterministic shared coin, and *tails*
+//!   fragments hook into their target when the target is *heads* or
+//!   already frozen (size ≥ cap). Heads/tails mating keeps hook chains at
+//!   length one, so a level costs `O(fragment diameter)` rounds and all
+//!   fragments run in parallel. After `O(log n)` levels every fragment
+//!   has ≥ `√n` nodes, so at most `√n` fragments remain.
+//! * **Phase B (`mstB.*`) — Borůvka through the leader.** With `k ≤ √n`
+//!   fragments left, each iteration aggregates the per-component minimum
+//!   outgoing edge at the leader with one pipelined grouped argmin over
+//!   the BFS tree (`O(k + D)` rounds), the leader merges components
+//!   locally and broadcasts the merge table (`O(k + D)`), and components
+//!   at least halve. Fragments stay *physical* (their internal trees are
+//!   untouched); phase-B edges become the inter-fragment edges of the
+//!   final tree, which is exactly the fragment decomposition Section 2
+//!   needs.
+//!
+//! This module holds the node-side algorithms and wire types; the phase
+//! sequencing lives in [`crate::dist::driver`].
+
+use crate::dist::packing::Cand;
+use congest::message::TAG_BITS;
+use congest::primitives::grouped_min::KeyedItem;
+use congest::{value_bits, Algorithm, Message, NodeCtx, Outbox, Port, Step};
+
+/// Configuration of the distributed MST stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MstConfig {
+    /// Fragment size cap of phase A; `None` derives the paper's `⌈√n⌉`.
+    /// Smaller caps mean more (cheaper) fragments, larger caps fewer
+    /// (deeper) ones — experiment E8 sweeps this.
+    pub cap: Option<usize>,
+    /// Safety cap on phase-A levels (the heads/tails mating argument
+    /// finishes in `O(log n)` levels with overwhelming probability; any
+    /// fragments still small after `max_levels` are simply handed to
+    /// phase B, which remains correct).
+    pub max_levels: usize,
+    /// Seed of the deterministic shared fragment coins.
+    pub seed: u64,
+}
+
+impl Default for MstConfig {
+    fn default() -> Self {
+        MstConfig {
+            cap: None,
+            max_levels: 96,
+            seed: 0x4d53_5431,
+        }
+    }
+}
+
+impl MstConfig {
+    /// The effective fragment size cap for an `n`-node network.
+    pub fn effective_cap(&self, n: usize) -> usize {
+        match self.cap {
+            Some(c) => c.max(2),
+            None => (n as f64).sqrt().ceil() as usize,
+        }
+    }
+
+    /// The deterministic shared coin of `frag` at `level`: `true` =
+    /// heads (accepts hooks), `false` = tails (tries to hook). Every
+    /// node can evaluate any fragment's coin locally — the coins are
+    /// public randomness derived from the seed, which is the standard
+    /// shared-coin assumption.
+    pub fn heads(&self, frag: u32, level: usize) -> bool {
+        crate::seq::sampling::splitmix64(
+            self.seed ^ (level as u64).wrapping_mul(0x9E37_79B9) ^ frag as u64,
+        ) & 1
+            == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase A wire types
+// ---------------------------------------------------------------------------
+
+/// The `mstA.*.exch` payload: the sender's fragment and frozen state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragMsg {
+    /// Sender's fragment id.
+    pub frag: u32,
+    /// Sender's fragment is frozen.
+    pub frozen: bool,
+}
+
+impl Message for FragMsg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS + value_bits(self.frag as u64) + 1
+    }
+}
+
+/// An annotated phase-A candidate: the edge's packing key plus whether
+/// the fragment across it is frozen (frozen targets accept hooks
+/// unconditionally, so tails/heads mating is unnecessary there).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ACand {
+    /// The candidate edge's key fields.
+    pub cand: Cand,
+    /// The fragment across the edge is frozen.
+    pub target_frozen: bool,
+}
+
+/// The better (smaller-key) of two optional annotated candidates.
+pub fn better_a(a: Option<ACand>, b: Option<ACand>) -> Option<ACand> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.cand.key() <= y.cand.key() { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Aggregate carried up the fragment tree in `mstA.*.cand`: subtree size
+/// plus the best outgoing candidate seen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandAgg {
+    /// Nodes in the subtree.
+    pub size: u64,
+    /// Best outgoing edge in the subtree, if any.
+    pub cand: Option<ACand>,
+}
+
+impl congest::primitives::Aggregate for CandAgg {
+    fn combine(&self, other: &Self) -> Self {
+        CandAgg {
+            size: self.size + other.size,
+            cand: better_a(self.cand, other.cand),
+        }
+    }
+
+    fn bits(&self) -> usize {
+        // Presence bit + candidate fields + frozen flag.
+        value_bits(self.size) + 1 + self.cand.map_or(0, |c| c.cand.bits() + 1)
+    }
+}
+
+/// The per-fragment decision broadcast down the fragment tree in
+/// `mstA.*.dec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecMsg {
+    /// The fragment has reached the size cap.
+    pub frozen: bool,
+    /// Edge to hook along this level (`None`: stay put).
+    pub hook_edge: Option<u32>,
+}
+
+impl Message for DecMsg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS + 2 + self.hook_edge.map_or(0, |e| value_bits(e as u64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase A hook handshake + re-root flood
+// ---------------------------------------------------------------------------
+
+/// A node's role in one `mstA.*.hook` phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HookRole {
+    /// The chosen endpoint of a tails fragment's hook edge.
+    Connector {
+        /// Port of the hook edge.
+        port: Port,
+        /// Fragment id on the other side (learned in the exchange).
+        target_frag: u32,
+    },
+    /// Other member of a hooking fragment: awaits the re-root flood.
+    Await,
+    /// Member of a fragment that is not hooking this level.
+    Passive,
+}
+
+/// Input of [`FragHook`].
+#[derive(Clone, Debug)]
+pub struct HookInput {
+    /// Current in-fragment tree ports (undirected set: parent + children).
+    pub tree_ports: Vec<Port>,
+    /// This node's role.
+    pub role: HookRole,
+    /// Whether this node's fragment accepts incoming hooks this level
+    /// (fragment is heads or frozen).
+    pub eligible: bool,
+    /// Whether this node's fragment is frozen (echoed in grants so the
+    /// absorbed fragment adopts the state).
+    pub frozen: bool,
+}
+
+/// Output of [`FragHook`].
+#[derive(Clone, Debug, Default)]
+pub struct HookOutput {
+    /// `Some((f, frozen))`: the fragment re-rooted, adopting fragment id
+    /// `f` and the target fragment's frozen state.
+    pub new_frag: Option<(u32, bool)>,
+    /// New parent port after a re-root (the hook port at the connector).
+    pub new_parent: Option<Port>,
+    /// Hook ports accepted from other fragments (new child tree edges).
+    pub accepted: Vec<Port>,
+}
+
+/// Messages of [`FragHook`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HookMsg {
+    /// "My (tails) fragment wants to merge along this edge."
+    Request,
+    /// "Granted — adopt my fragment id." Carries the granting fragment's
+    /// frozen state so absorbed members know whether to keep competing.
+    Accept {
+        /// The granting fragment is already frozen.
+        frozen: bool,
+    },
+    /// "Denied — my fragment is tails too, try another level."
+    Reject,
+    /// Re-root flood: adopt fragment `frag`, parent = arrival port.
+    Reroot {
+        /// The adopted fragment id.
+        frag: u32,
+        /// The adopted fragment's frozen state.
+        frozen: bool,
+    },
+    /// The hook was rejected: keep the old tree, stop waiting.
+    Keep,
+}
+
+impl Message for HookMsg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + match self {
+                HookMsg::Accept { .. } => 1,
+                HookMsg::Reroot { frag, .. } => 1 + value_bits(*frag as u64),
+                _ => 0,
+            }
+    }
+}
+
+/// One level's hook handshake: connectors fire a request at boot, targets
+/// grant or deny in round 1 based on their fragment's coin, and granted
+/// fragments re-root toward the hook edge with an in-fragment flood.
+///
+/// **Mutual choices** (two tails fragments whose minimum outgoing edges
+/// coincide — GHS "core" edges) merge unconditionally: both connectors
+/// see each other's request on the hook edge in round 1 and the
+/// larger-id fragment re-roots into the smaller. Every choice-graph
+/// component contains such a core edge, so each level makes progress
+/// regardless of the coins.
+///
+/// Rounds: `2 + fragment diameter`; all fragments in parallel.
+#[derive(Clone, Debug, Default)]
+pub struct FragHook;
+
+/// Node state for [`FragHook`].
+#[derive(Debug)]
+pub struct HookState {
+    input: HookInput,
+    my_frag: u32,
+    out: HookOutput,
+}
+
+impl Algorithm for FragHook {
+    type Input = (HookInput, u32);
+    type State = HookState;
+    type Msg = HookMsg;
+    type Output = HookOutput;
+
+    fn boot(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        (input, my_frag): Self::Input,
+    ) -> (HookState, Outbox<HookMsg>) {
+        let mut out = Outbox::new();
+        if let HookRole::Connector { port, .. } = input.role {
+            out.send(port, HookMsg::Request);
+        }
+        (
+            HookState {
+                input,
+                my_frag,
+                out: HookOutput::default(),
+            },
+            out,
+        )
+    }
+
+    fn round(
+        &self,
+        s: &mut HookState,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(Port, HookMsg)],
+    ) -> Step<HookMsg> {
+        let mut out = Outbox::new();
+        let hook_port = match s.input.role {
+            HookRole::Connector { port, .. } => Some(port),
+            _ => None,
+        };
+        // Requests only ever arrive in round 1 (sent at boot). A request
+        // on the connector's own hook port is the mutual case, handled in
+        // the connector logic below instead of being answered.
+        for (port, msg) in inbox {
+            if matches!(msg, HookMsg::Request) && Some(*port) != hook_port {
+                if s.input.eligible {
+                    s.out.accepted.push(*port);
+                    out.send(
+                        *port,
+                        HookMsg::Accept {
+                            frozen: s.input.frozen,
+                        },
+                    );
+                } else {
+                    out.send(*port, HookMsg::Reject);
+                }
+            }
+        }
+        match s.input.role.clone() {
+            HookRole::Passive => {
+                // Nothing else can reach a passive node after round 1.
+                return Step::Halt(out);
+            }
+            HookRole::Connector { port, target_frag } => {
+                let mutual = inbox
+                    .iter()
+                    .any(|(p, m)| *p == port && matches!(m, HookMsg::Request));
+                if mutual {
+                    // Core edge: merge now, larger fragment id yields.
+                    // Both sides are tails, hence unfrozen.
+                    let flood = if s.my_frag > target_frag {
+                        s.out.new_frag = Some((target_frag, false));
+                        s.out.new_parent = Some(port);
+                        HookMsg::Reroot {
+                            frag: target_frag,
+                            frozen: false,
+                        }
+                    } else {
+                        s.out.accepted.push(port);
+                        HookMsg::Keep
+                    };
+                    for &p in &s.input.tree_ports {
+                        out.send(p, flood);
+                    }
+                    return Step::Halt(out);
+                }
+                let reply = inbox.iter().find_map(|(p, m)| {
+                    (*p == port && matches!(m, HookMsg::Accept { .. } | HookMsg::Reject))
+                        .then_some(*m)
+                });
+                if let Some(reply) = reply {
+                    let flood = if let HookMsg::Accept { frozen } = reply {
+                        s.out.new_frag = Some((target_frag, frozen));
+                        s.out.new_parent = Some(port);
+                        HookMsg::Reroot {
+                            frag: target_frag,
+                            frozen,
+                        }
+                    } else {
+                        HookMsg::Keep
+                    };
+                    for &p in &s.input.tree_ports {
+                        out.send(p, flood);
+                    }
+                    return Step::Halt(out);
+                }
+            }
+            HookRole::Await => {
+                let flood = inbox.iter().find_map(|(p, m)| {
+                    matches!(m, HookMsg::Reroot { .. } | HookMsg::Keep).then_some((*p, *m))
+                });
+                if let Some((from, msg)) = flood {
+                    if let HookMsg::Reroot { frag, frozen } = msg {
+                        s.out.new_frag = Some((frag, frozen));
+                        s.out.new_parent = Some(from);
+                    }
+                    for &p in &s.input.tree_ports {
+                        if p != from {
+                            out.send(p, msg);
+                        }
+                    }
+                    return Step::Halt(out);
+                }
+            }
+        }
+        Step::Continue(out)
+    }
+
+    fn finish(&self, s: HookState, _ctx: &NodeCtx<'_>) -> HookOutput {
+        s.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase B wire types
+// ---------------------------------------------------------------------------
+
+/// The `mstB.*.exch` payload: current component and physical fragment of
+/// the sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompMsg {
+    /// Sender's Borůvka component.
+    pub comp: u32,
+    /// Sender's physical fragment (phase-A).
+    pub frag: u32,
+}
+
+impl Message for CompMsg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS + value_bits(self.comp as u64) + value_bits(self.frag as u64)
+    }
+}
+
+/// A Borůvka candidate flowing up the BFS tree in `mstB.*.cand`: the best
+/// outgoing edge proposal of one component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BorCand {
+    /// The proposing component (grouping key).
+    pub comp: u32,
+    /// The candidate edge's packing key fields.
+    pub cand: Cand,
+    /// Component on the other side of the edge.
+    pub other_comp: u32,
+}
+
+impl Message for BorCand {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + value_bits(self.comp as u64)
+            + self.cand.bits()
+            + value_bits(self.other_comp as u64)
+    }
+}
+
+impl KeyedItem for BorCand {
+    fn key(&self) -> u32 {
+        self.comp
+    }
+    fn better_than(&self, other: &Self) -> bool {
+        self.cand.key() < other.cand.key()
+    }
+}
+
+/// Items of the `mstB.*.merge` broadcast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeItem {
+    /// Component `from` is now part of component `to`.
+    Remap {
+        /// Old component id.
+        from: u32,
+        /// New (representative) component id.
+        to: u32,
+    },
+    /// This edge joined the tree; both endpoints mark it.
+    Chosen {
+        /// Global edge id.
+        edge: u32,
+    },
+}
+
+impl Message for MergeItem {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + match self {
+                MergeItem::Remap { from, to } => value_bits(*from as u64) + value_bits(*to as u64),
+                MergeItem::Chosen { edge } => value_bits(*edge as u64),
+            }
+    }
+}
+
+/// Items of the `mstB.report` upcast: an endpoint of a chosen
+/// inter-fragment edge reporting its side, so the leader can assemble the
+/// fragment tree `T_F` with exact endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReportItem {
+    /// The chosen edge.
+    pub edge: u32,
+    /// The reporting endpoint's physical fragment.
+    pub frag: u32,
+    /// The reporting endpoint.
+    pub node: u32,
+}
+
+impl Message for ReportItem {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + value_bits(self.edge as u64)
+            + value_bits(self.frag as u64)
+            + value_bits(self.node as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_cap_defaults_to_sqrt_n() {
+        let cfg = MstConfig::default();
+        assert_eq!(cfg.effective_cap(36), 6);
+        assert_eq!(cfg.effective_cap(144), 12);
+        assert_eq!(cfg.effective_cap(50), 8); // ⌈7.07⌉
+        let fixed = MstConfig {
+            cap: Some(1),
+            ..Default::default()
+        };
+        // A cap below 2 would freeze singletons instantly; clamped.
+        assert_eq!(fixed.effective_cap(100), 2);
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_mixed() {
+        let cfg = MstConfig::default();
+        assert_eq!(cfg.heads(5, 3), cfg.heads(5, 3));
+        // Over many (frag, level) pairs both sides appear.
+        let heads = (0..64u32)
+            .flat_map(|f| (0..8usize).map(move |l| (f, l)))
+            .filter(|&(f, l)| cfg.heads(f, l))
+            .count();
+        assert!((128..384).contains(&heads), "heads = {heads}/512");
+    }
+
+    #[test]
+    fn message_sizes_are_logarithmic() {
+        let dec = DecMsg {
+            frozen: true,
+            hook_edge: Some(200),
+        };
+        assert!(dec.bit_len() <= TAG_BITS + 2 + 8);
+        let bc = BorCand {
+            comp: 100,
+            cand: Cand {
+                load: 3,
+                weight: 9,
+                edge: 250,
+            },
+            other_comp: 40,
+        };
+        assert!(bc.bit_len() <= TAG_BITS + 7 + 2 + 4 + 8 + 6);
+        assert_eq!(
+            (HookMsg::Request.bit_len(), HookMsg::Keep.bit_len()),
+            (TAG_BITS, TAG_BITS)
+        );
+        assert!(
+            HookMsg::Reroot {
+                frag: 7,
+                frozen: true
+            }
+            .bit_len()
+                <= TAG_BITS + 4
+        );
+    }
+
+    #[test]
+    fn bor_cand_orders_by_relative_load() {
+        let mk = |load, weight, edge| BorCand {
+            comp: 1,
+            cand: Cand { load, weight, edge },
+            other_comp: 2,
+        };
+        // 1/4 beats 1/2; equal ratios fall back to weight then id.
+        assert!(mk(1, 4, 9).better_than(&mk(1, 2, 0)));
+        assert!(mk(1, 2, 0).better_than(&mk(2, 4, 1)));
+        assert!(mk(1, 2, 0).better_than(&mk(1, 2, 1)));
+    }
+}

@@ -30,7 +30,10 @@ impl fmt::Display for MinCutError {
                 write!(f, "graph is disconnected (minimum cut is trivially 0)")
             }
             MinCutError::TooSmall { nodes } => {
-                write!(f, "graph has {nodes} nodes; need at least 2 for a proper cut")
+                write!(
+                    f,
+                    "graph has {nodes} nodes; need at least 2 for a proper cut"
+                )
             }
             MinCutError::Congest(e) => write!(f, "CONGEST simulation failed: {e}"),
             MinCutError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),

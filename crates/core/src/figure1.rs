@@ -89,8 +89,7 @@ pub struct Figure1 {
 impl Figure1 {
     /// Builds the instance.
     pub fn build() -> Self {
-        let mut edges: Vec<(u32, u32, u64)> =
-            TREE_EDGES.iter().map(|&(c, p)| (c, p, 1)).collect();
+        let mut edges: Vec<(u32, u32, u64)> = TREE_EDGES.iter().map(|&(c, p)| (c, p, 1)).collect();
         edges.extend_from_slice(&EXTRA_EDGES);
         let graph = WeightedGraph::from_edges(16, edges).expect("figure instance is valid");
         let pairs: Vec<(NodeId, NodeId)> = TREE_EDGES

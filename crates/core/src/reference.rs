@@ -91,11 +91,11 @@ impl ReferenceStructure {
         // F(v): fragments whose root lies in v↓.
         let iv = SubtreeIntervals::new(&tree);
         let mut f_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, set) in f_sets.iter_mut().enumerate() {
             let v_id = NodeId::from_index(v);
             for (fi, &r) in frag_roots.iter().enumerate() {
                 if iv.is_ancestor(v_id, r) {
-                    f_sets[v].push(fi as u32);
+                    set.push(fi as u32);
                 }
             }
         }
@@ -120,14 +120,14 @@ impl ReferenceStructure {
 
         // Merging nodes.
         let mut merging = vec![false; n];
-        for v in 0..n {
+        for (v, flag) in merging.iter_mut().enumerate() {
             let v_id = NodeId::from_index(v);
             let children_with_frags = tree
                 .children(v_id)
                 .iter()
                 .filter(|c| !f_sets[c.index()].is_empty())
                 .count();
-            merging[v] = children_with_frags >= 2;
+            *flag = children_with_frags >= 2;
         }
 
         // T'_F: fragment roots ∪ merging nodes; parent = lowest proper
@@ -234,10 +234,7 @@ mod tests {
             );
         }
         // Global root sees every fragment.
-        assert_eq!(
-            r.f_sets[r.tree.root().index()].len(),
-            r.fragment_count()
-        );
+        assert_eq!(r.f_sets[r.tree.root().index()].len(), r.fragment_count());
     }
 
     #[test]

@@ -102,6 +102,9 @@ mod tests {
             Err(MinCutError::InvalidConfig { .. })
         ));
         let tiny = graphs::WeightedGraph::from_edges(1, []).unwrap();
-        assert!(matches!(mincut_brute(&tiny), Err(MinCutError::TooSmall { .. })));
+        assert!(matches!(
+            mincut_brute(&tiny),
+            Err(MinCutError::TooSmall { .. })
+        ));
     }
 }

@@ -160,8 +160,7 @@ pub fn matula_estimate(g: &WeightedGraph, eps: f64) -> Result<Weight, MinCutErro
             }
         }
         let labels: Vec<u32> = (0..h.node_count()).map(|v| dsu.find(v) as u32).collect();
-        let c = graphs::ops::contract_by_labels(&h, &labels)
-            .expect("labels are well-formed");
+        let c = graphs::ops::contract_by_labels(&h, &labels).expect("labels are well-formed");
         if c.graph.node_count() == h.node_count() {
             break; // no progress
         }

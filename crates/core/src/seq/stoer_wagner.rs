@@ -156,11 +156,9 @@ mod tests {
     #[test]
     fn weighted_instance() {
         // Heavy triangle with one light vertex.
-        let g = graphs::WeightedGraph::from_edges(
-            4,
-            [(0, 1, 10), (1, 2, 10), (0, 2, 10), (2, 3, 3)],
-        )
-        .unwrap();
+        let g =
+            graphs::WeightedGraph::from_edges(4, [(0, 1, 10), (1, 2, 10), (0, 2, 10), (2, 3, 3)])
+                .unwrap();
         let r = stoer_wagner(&g).unwrap();
         assert_eq!(r.value, 3);
         assert_eq!(r.smaller_side(), vec![NodeId::new(3)]);
@@ -186,7 +184,10 @@ mod tests {
             Err(MinCutError::TooSmall { nodes: 1 })
         ));
         let disc = graphs::WeightedGraph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
-        assert!(matches!(stoer_wagner(&disc), Err(MinCutError::Disconnected)));
+        assert!(matches!(
+            stoer_wagner(&disc),
+            Err(MinCutError::Disconnected)
+        ));
     }
 
     #[test]

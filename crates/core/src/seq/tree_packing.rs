@@ -98,9 +98,7 @@ impl PackingConfig {
                 let l = lambda_hat.max(1) as f64;
                 (l.powi(7) * ln_n.powi(3)).ceil()
             }
-            PackingSize::Heuristic { factor } => {
-                (factor * lambda_hat.max(1) as f64 * ln_n).ceil()
-            }
+            PackingSize::Heuristic { factor } => (factor * lambda_hat.max(1) as f64 * ln_n).ceil(),
             PackingSize::Fixed(k) => k as f64,
         };
         (t.max(1.0) as usize).min(self.max_trees)
@@ -164,7 +162,10 @@ pub(crate) fn next_packed_tree(
 /// # Errors
 ///
 /// [`MinCutError::TooSmall`] / [`MinCutError::Disconnected`] as usual.
-pub fn packing_mincut(g: &WeightedGraph, config: &PackingConfig) -> Result<PackingResult, MinCutError> {
+pub fn packing_mincut(
+    g: &WeightedGraph,
+    config: &PackingConfig,
+) -> Result<PackingResult, MinCutError> {
     let n = g.node_count();
     if n < 2 {
         return Err(MinCutError::TooSmall { nodes: n });
@@ -192,8 +193,7 @@ pub fn packing_mincut(g: &WeightedGraph, config: &PackingConfig) -> Result<Packi
             loads[e.index()] += 1;
         }
         packed += 1;
-        let tree = to_rooted(g, &tree_edges, NodeId::new(0))
-            .expect("spanning edges form a tree");
+        let tree = to_rooted(g, &tree_edges, NodeId::new(0)).expect("spanning edges form a tree");
         if let Some((value, v)) = min_one_respecting(g, &tree) {
             if value < best_value {
                 best_value = value;
@@ -266,10 +266,7 @@ mod tests {
                 loads[e.index()] += 1;
             }
         }
-        let (mn, mx) = (
-            *loads.iter().min().unwrap(),
-            *loads.iter().max().unwrap(),
-        );
+        let (mn, mx) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
         assert!(mx - mn <= 1, "loads = {loads:?}");
     }
 
@@ -279,10 +276,7 @@ mod tests {
             let p = generators::clique_pair(h, lambda).unwrap();
             let r = packing_mincut(&p.graph, &PackingConfig::default()).unwrap();
             assert_eq!(r.cut.value, lambda as u64, "h={h} λ={lambda}");
-            assert_eq!(
-                graphs::cut::cut_of_side(&p.graph, &r.cut.side),
-                r.cut.value
-            );
+            assert_eq!(graphs::cut::cut_of_side(&p.graph, &r.cut.side), r.cut.value);
         }
     }
 

@@ -69,8 +69,7 @@ pub fn min_two_respecting(g: &WeightedGraph, tree: &RootedTree) -> (Weight, Resp
     }
     // Step 2: aggregate the node axis bottom-up: cross[v][w] = W(v↓, w↓).
     let mut cross = sub_to_node;
-    for v in 0..n {
-        let row = &mut cross[v];
+    for row in cross.iter_mut().take(n) {
         for u in tree.bottom_up() {
             if let Some(p) = tree.parent(u) {
                 row[p.index()] += row[u.index()];

@@ -28,7 +28,10 @@ pub fn check_cut(g: &WeightedGraph, cut: &CutResult) -> Result<(), MinCutError> 
     let actual = graphs::cut::cut_of_side(g, &cut.side);
     if actual != cut.value {
         return Err(MinCutError::InvalidConfig {
-            reason: format!("recorded value {} but side evaluates to {actual}", cut.value),
+            reason: format!(
+                "recorded value {} but side evaluates to {actual}",
+                cut.value
+            ),
         });
     }
     Ok(())

@@ -80,7 +80,7 @@ mod tests {
     fn diameter_is_logarithmic() {
         // Paths of length 16 would have diameter 15 alone; the tree collapses
         // it to O(log ell).
-        let g = das_sarma_style(4, 16, ).unwrap();
+        let g = das_sarma_style(4, 16).unwrap();
         let d = exact_diameter(&g);
         assert!(d <= 2 + 2 * 5, "diameter {d} too large");
     }

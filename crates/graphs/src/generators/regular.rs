@@ -34,7 +34,7 @@ pub fn random_regular<R: Rng>(
     if d >= n {
         return Err(invalid(format!("degree d = {d} must be < n = {n}")));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(invalid("n·d must be even"));
     }
     if d == 0 {
@@ -44,10 +44,7 @@ pub fn random_regular<R: Rng>(
     const RESTARTS: usize = 20;
     for _ in 0..RESTARTS {
         if let Some(edges) = pair_and_repair(n, d, rng) {
-            let g = WeightedGraph::from_edges(
-                n,
-                edges.into_iter().map(|(u, v)| (u, v, 1)),
-            )?;
+            let g = WeightedGraph::from_edges(n, edges.into_iter().map(|(u, v)| (u, v, 1)))?;
             debug_assert!(g.nodes().all(|v| g.degree(v) == d));
             return Ok(g);
         }

@@ -60,7 +60,9 @@ pub type Weight = u64;
 /// In the CONGEST model every node has a unique `O(log n)`-bit identifier;
 /// we use the dense index itself, which is the standard choice for
 /// simulators (the algorithms only compare identifiers).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -108,7 +110,9 @@ impl From<u32> for NodeId {
 }
 
 /// Identifier of an undirected edge: a dense index in `0..m`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct EdgeId(u32);
 
 impl EdgeId {

@@ -1,0 +1,134 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Keeps the bench targets compiling and lets `cargo bench` smoke-run
+//! every benchmark body exactly once (no statistics). See
+//! `crates/stubs/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// The bench registry/driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is not configurable here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once with a [`Bencher`] and the input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{}: smoke run", self.name, id.label);
+        let mut b = Bencher;
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher;
+
+impl Bencher {
+    /// Executes the closure once (a smoke run, not a measurement).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+/// A benchmark's display label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Prevents the compiler from optimising a value away (best effort
+/// without `std::hint::black_box` tricks; identity is fine for smoke
+/// runs).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("case", 1), &41, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                black_box(x + 1)
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_each_body_once() {
+        benches();
+    }
+}

@@ -1,0 +1,45 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in: the workspace only *tags* types as serializable (no code
+//! actually serializes), so the derives expand to marker-trait impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following `struct`/`enum` in the derive input.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        // Generic types never occur among the workspace's derives; a
+        // plain impl suffices.
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

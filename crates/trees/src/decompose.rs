@@ -131,11 +131,7 @@ mod tests {
         for (i, m) in members.iter().enumerate() {
             assert!(!m.is_empty());
             if f.root_of[i] != tree.root() {
-                assert!(
-                    m.len() >= s,
-                    "fragment {i} has {} < {s} nodes",
-                    m.len()
-                );
+                assert!(m.len() >= s, "fragment {i} has {} < {s} nodes", m.len());
             }
         }
         assert!(f.count <= n / s + 1, "too many fragments: {}", f.count);

@@ -102,9 +102,7 @@ impl BinaryLiftingLca {
             let row: Vec<u32> = (0..n).map(|v| prev[prev[v] as usize]).collect();
             up.push(row);
         }
-        let depth = (0..n)
-            .map(|v| tree.depth(NodeId::from_index(v)))
-            .collect();
+        let depth = (0..n).map(|v| tree.depth(NodeId::from_index(v))).collect();
         BinaryLiftingLca { up, depth }
     }
 

@@ -100,8 +100,8 @@ impl RootedTree {
             });
         }
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
                 children[p.index()].push(NodeId::from_index(v));
             }
         }
@@ -287,11 +287,8 @@ mod tests {
         let t = sample();
         assert_eq!(t.bfs_order()[0], node(0));
         // Bottom-up must place children before parents.
-        let pos: std::collections::HashMap<NodeId, usize> = t
-            .bottom_up()
-            .enumerate()
-            .map(|(i, v)| (v, i))
-            .collect();
+        let pos: std::collections::HashMap<NodeId, usize> =
+            t.bottom_up().enumerate().map(|(i, v)| (v, i)).collect();
         for (c, p) in t.edges() {
             assert!(pos[&c] < pos[&p], "{c:?} should come before {p:?}");
         }
@@ -317,9 +314,8 @@ mod tests {
     #[test]
     fn from_parents_roundtrip() {
         let t = sample();
-        let parents: Vec<Option<NodeId>> = (0..6)
-            .map(|v| t.parent(NodeId::from_index(v)))
-            .collect();
+        let parents: Vec<Option<NodeId>> =
+            (0..6).map(|v| t.parent(NodeId::from_index(v))).collect();
         let t2 = RootedTree::from_parents(node(0), &parents).unwrap();
         assert_eq!(t, t2);
     }
@@ -338,9 +334,7 @@ mod tests {
         // Out-of-range root.
         assert!(RootedTree::from_edges(2, node(5), &[(node(0), node(1))]).is_err());
         // Root with a parent.
-        assert!(
-            RootedTree::from_parents(node(0), &[Some(node(1)), None]).is_err()
-        );
+        assert!(RootedTree::from_parents(node(0), &[Some(node(1)), None]).is_err());
     }
 
     #[test]

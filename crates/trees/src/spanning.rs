@@ -13,10 +13,7 @@ pub fn bfs_spanning_edges(g: &WeightedGraph, root: NodeId) -> Vec<EdgeId> {
     let mut edges = Vec::new();
     for v in g.nodes() {
         if let Some(p) = r.parent[v.index()] {
-            edges.push(
-                g.edge_between(p, v)
-                    .expect("BFS parent must be a neighbor"),
-            );
+            edges.push(g.edge_between(p, v).expect("BFS parent must be a neighbor"));
         }
     }
     edges
@@ -28,10 +25,7 @@ pub fn dfs_spanning_edges(g: &WeightedGraph, root: NodeId) -> Vec<EdgeId> {
     let mut edges = Vec::new();
     for v in g.nodes() {
         if let Some(p) = r.parent[v.index()] {
-            edges.push(
-                g.edge_between(p, v)
-                    .expect("DFS parent must be a neighbor"),
-            );
+            edges.push(g.edge_between(p, v).expect("DFS parent must be a neighbor"));
         }
     }
     edges

@@ -158,8 +158,8 @@ mod tests {
         let t = sample();
         let iv = SubtreeIntervals::new(&t);
         let sz = t.subtree_sizes();
-        for v in 0..t.len() {
-            assert_eq!(iv.subtree_size(node(v as u32)), sz[v] as usize);
+        for (v, &size) in sz.iter().enumerate() {
+            assert_eq!(iv.subtree_size(node(v as u32)), size as usize);
         }
     }
 

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fragments (label: members, root):");
     for (i, members) in fig.fragments.members().iter().enumerate() {
         let ids: Vec<u32> = members.iter().map(|v| v.raw()).collect();
-        println!(
-            "  F{i}: {ids:?}  root r{i} = {}",
-            fig.fragments.root_of[i]
-        );
+        println!("  F{i}: {ids:?}  root r{i} = {}", fig.fragments.root_of[i]);
     }
     println!("T_F parents: {:?}  (F1, F2, F3 hang off F0)", r.tf_parent);
     println!();

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Independent verification.
     mincut_repro::mincut::verify::check_cut(g, &result.cut)?;
     let oracle = mincut_repro::mincut::seq::stoer_wagner(g)?;
-    assert_eq!(result.cut.value, oracle.value, "distributed == Stoer–Wagner");
+    assert_eq!(
+        result.cut.value, oracle.value,
+        "distributed == Stoer–Wagner"
+    );
     println!("verified against Stoer–Wagner: OK");
     Ok(())
 }

@@ -5,7 +5,9 @@ use mincut_repro::congest::NetworkConfig;
 use mincut_repro::graphs::{generators, traversal};
 use mincut_repro::mincut::dist::driver::{exact_mincut, ExactConfig};
 
-fn run(g: &mincut_repro::graphs::WeightedGraph) -> mincut_repro::mincut::dist::driver::DistMinCutResult {
+fn run(
+    g: &mincut_repro::graphs::WeightedGraph,
+) -> mincut_repro::mincut::dist::driver::DistMinCutResult {
     exact_mincut(g, &ExactConfig::default()).expect("strict-mode run succeeds")
 }
 
@@ -43,8 +45,23 @@ fn per_phase_ledger_is_complete() {
     assert!(!phases.is_empty());
     // Every recorded phase contributed rounds and the names cover the
     // pipeline stages.
-    let names: String = phases.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(",");
-    for needle in ["leader_bfs", "mstA", "mstB", "orient", "s2a", "s2b", "s2c", "s3", "s4", "s5"] {
+    let names: String = phases
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    for needle in [
+        "leader_bfs",
+        "mstA",
+        "mstB",
+        "orient",
+        "s2a",
+        "s2b",
+        "s2c",
+        "s3",
+        "s4",
+        "s5",
+    ] {
         assert!(names.contains(needle), "missing phase {needle}");
     }
     assert_eq!(

@@ -61,7 +61,11 @@ fn baselines_are_valid_cuts() {
     assert!(gk.cut.value >= opt);
     // The GK-style baseline is the (2+ε)-quality competitor: generous
     // envelope to keep the test seed-robust.
-    assert!(gk.cut.value <= 4 * opt, "GK value {} vs opt {opt}", gk.cut.value);
+    assert!(
+        gk.cut.value <= 4 * opt,
+        "GK value {} vs opt {opt}",
+        gk.cut.value
+    );
 }
 
 #[test]

@@ -13,7 +13,12 @@ fn fragments_and_tf() {
     assert_eq!(r.tf_parent, vec![None, Some(0), Some(0), Some(0)]);
     assert_eq!(
         r.frag_roots,
-        vec![NodeId::new(0), NodeId::new(3), NodeId::new(4), NodeId::new(5)]
+        vec![
+            NodeId::new(0),
+            NodeId::new(3),
+            NodeId::new(4),
+            NodeId::new(5)
+        ]
     );
 }
 

@@ -1,9 +1,7 @@
 //! Property-based tests of the core invariants.
 
 use mincut_repro::graphs::{cut::cut_of_side, generators, NodeId, WeightedGraph};
-use mincut_repro::mincut::seq::{
-    self, one_respecting_cuts, skeleton, splitmix64, stoer_wagner,
-};
+use mincut_repro::mincut::seq::{self, one_respecting_cuts, skeleton, splitmix64, stoer_wagner};
 use mincut_repro::trees::spanning::{random_spanning_edges, to_rooted};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
