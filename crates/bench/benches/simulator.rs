@@ -15,7 +15,7 @@ fn bench_simulator(c: &mut Criterion) {
         let n = g.node_count();
         group.bench_with_input(BenchmarkId::new("leader_bfs", n), &g, |b, g| {
             b.iter(|| {
-                let mut net = Network::new(g, NetworkConfig::default());
+                let mut net = Network::new(g, NetworkConfig::default()).unwrap();
                 net.run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
                     .unwrap()
                     .metrics
@@ -23,7 +23,7 @@ fn bench_simulator(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("convergecast", n), &g, |b, g| {
-            let mut net = Network::new(g, NetworkConfig::default());
+            let mut net = Network::new(g, NetworkConfig::default()).unwrap();
             let trees: Vec<TreeInfo> = net
                 .run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
                 .unwrap()

@@ -1,0 +1,70 @@
+//! CI smoke benchmark: the round/wall-time trajectory of the exact
+//! pipeline on two instance families at two sizes each, emitted as
+//! `BENCH_rounds.json` so the perf history of the repository stops being
+//! empty. Runs in seconds — this is a trend probe, not a full E1–E10
+//! evaluation (`run_all` remains that).
+
+use graphs::generators;
+use mincut::dist::driver::{exact_mincut, ExactConfig};
+use mincut::seq::tree_packing::{PackingConfig, PackingSize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Sample {
+    instance: String,
+    n: usize,
+    rounds: u64,
+    messages: u64,
+    cut: u64,
+    wall_ms: f64,
+}
+
+fn run(instance: &str, g: &graphs::WeightedGraph) -> Sample {
+    // Three packed trees: deterministic, fast, and enough to land the
+    // planted cut on both smoke families (clique pairs need ≥ 2).
+    let cfg = ExactConfig {
+        packing: PackingConfig {
+            size: PackingSize::Fixed(3),
+            max_trees: 3,
+        },
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let r = exact_mincut(g, &cfg).expect("smoke instance must run");
+    Sample {
+        instance: instance.to_string(),
+        n: g.node_count(),
+        rounds: r.rounds,
+        messages: r.messages,
+        cut: r.cut.value,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    for side in [12usize, 24] {
+        let g = generators::torus2d(side, side).unwrap();
+        samples.push(run(&format!("torus{side}x{side}"), &g));
+    }
+    for h in [16usize, 32] {
+        let g = generators::clique_pair(h, 3).unwrap().graph;
+        samples.push(run(&format!("clique_pair{h}"), &g));
+    }
+
+    // Hand-rolled JSON (the workspace's serde is an offline stub).
+    let mut json = String::from("{\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"instance\": \"{}\", \"n\": {}, \"rounds\": {}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
+            s.instance, s.n, s.rounds, s.messages, s.cut, s.wall_ms
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_rounds.json", &json).expect("write BENCH_rounds.json");
+    println!("{json}");
+    println!("wrote BENCH_rounds.json ({} samples)", samples.len());
+}

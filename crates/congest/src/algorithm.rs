@@ -47,6 +47,31 @@ impl<M: Message> Default for Outbox<M> {
     }
 }
 
+/// A protocol violation detected by node code: the phase ended in a state
+/// the algorithm's contract forbids (e.g. a broadcast that never reached
+/// this node). Returned from [`Algorithm::finish`]; the engine maps it to
+/// [`crate::CongestError::Protocol`] with the phase and node filled in, so
+/// a misbehaving algorithm surfaces as an error instead of aborting the
+/// whole simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// What went wrong, in the algorithm's own words.
+    pub reason: String,
+}
+
+impl ProtocolViolation {
+    /// Creates a violation with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ProtocolViolation {
+            reason: reason.into(),
+        }
+    }
+}
+
+/// What [`Algorithm::finish`] returns: the node's output, or a
+/// [`ProtocolViolation`] the engine turns into a typed error.
+pub type FinishResult<O> = Result<O, ProtocolViolation>;
+
 /// A node's decision at the end of a round.
 #[derive(Clone, Debug)]
 pub enum Step<M> {
@@ -103,8 +128,10 @@ pub trait Algorithm {
         inbox: &[(Port, Self::Msg)],
     ) -> Step<Self::Msg>;
 
-    /// Extracts the node's output after it halted.
-    fn finish(&self, state: Self::State, ctx: &NodeCtx<'_>) -> Self::Output;
+    /// Extracts the node's output after it halted, or reports a
+    /// [`ProtocolViolation`] if the phase ended in a state the
+    /// algorithm's contract forbids.
+    fn finish(&self, state: Self::State, ctx: &NodeCtx<'_>) -> FinishResult<Self::Output>;
 }
 
 #[cfg(test)]

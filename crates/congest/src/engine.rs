@@ -35,7 +35,13 @@ pub struct Network<'g> {
 
 impl<'g> Network<'g> {
     /// Builds a network over `graph` with the given configuration.
-    pub fn new(graph: &'g WeightedGraph, config: NetworkConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::AsymmetricAdjacency`] when the graph's
+    /// adjacency is not symmetric (a malformed topology — ports could not
+    /// be routed back).
+    pub fn new(graph: &'g WeightedGraph, config: NetworkConfig) -> Result<Self, CongestError> {
         let n = graph.node_count();
         let mut neighbors: Vec<Vec<NeighborInfo>> = Vec::with_capacity(n);
         for v in graph.nodes() {
@@ -57,23 +63,25 @@ impl<'g> Network<'g> {
             let mut row = Vec::with_capacity(neighbors[v.index()].len());
             for ni in &neighbors[v.index()] {
                 let u = ni.id;
-                let back = neighbors[u.index()]
-                    .iter()
-                    .position(|b| b.id == v)
-                    .expect("undirected adjacency is symmetric");
+                let back = neighbors[u.index()].iter().position(|b| b.id == v).ok_or(
+                    CongestError::AsymmetricAdjacency {
+                        node: v,
+                        neighbor: u,
+                    },
+                )?;
                 row.push((u.raw(), back as u32));
             }
             routing.push(row);
         }
         let bandwidth_bits = config.bandwidth_bits(n);
-        Network {
+        Ok(Network {
             graph,
             config,
             ledger: MetricsLedger::new(),
             neighbors,
             routing,
             bandwidth_bits,
-        }
+        })
     }
 
     /// The underlying graph. The returned reference carries the graph's own
@@ -238,8 +246,13 @@ impl<'g> Network<'g> {
             .map(|(v, s)| {
                 let ctx = self.ctx(v, round);
                 algo.finish(s.expect("state present"), &ctx)
+                    .map_err(|violation| CongestError::Protocol {
+                        phase: name.to_string(),
+                        node: NodeId::from_index(v),
+                        reason: violation.reason,
+                    })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         self.ledger.push(metrics.clone());
         Ok(RunOutcome { outputs, metrics })
     }
@@ -304,7 +317,7 @@ impl<'g> Network<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::Outbox;
+    use crate::algorithm::{FinishResult, Outbox};
 
     /// Every node floods its id for `ttl` rounds and records the minimum it
     /// has seen — a toy algorithm exercising the engine paths.
@@ -358,15 +371,15 @@ mod tests {
             Step::Continue(o)
         }
 
-        fn finish(&self, state: MinState, _ctx: &NodeCtx<'_>) -> u32 {
-            state.best
+        fn finish(&self, state: MinState, _ctx: &NodeCtx<'_>) -> FinishResult<u32> {
+            Ok(state.best)
         }
     }
 
     #[test]
     fn min_flood_converges_on_path() {
         let g = graphs::generators::path(10).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let out = net
             .run("min_flood", &MinFlood { ttl: 12 }, vec![(); 10])
             .unwrap();
@@ -405,13 +418,15 @@ mod tests {
             Step::halt()
         }
 
-        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
     }
 
     #[test]
     fn strict_mode_rejects_fat_messages() {
         let g = graphs::generators::path(4).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let err = net.run("fat", &FatSender, vec![(); 4]).unwrap_err();
         assert!(matches!(err, CongestError::BandwidthExceeded { .. }));
     }
@@ -423,7 +438,7 @@ mod tests {
             strict: false,
             ..Default::default()
         };
-        let mut net = Network::new(&g, cfg);
+        let mut net = Network::new(&g, cfg).unwrap();
         let out = net.run("fat", &FatSender, vec![(); 4]).unwrap();
         assert_eq!(out.metrics.violations, 1);
     }
@@ -446,13 +461,15 @@ mod tests {
         fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
             Step::halt()
         }
-        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
     }
 
     #[test]
     fn double_send_is_rejected() {
         let g = graphs::generators::path(3).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let err = net.run("dbl", &DoubleSender, vec![(); 3]).unwrap_err();
         assert!(matches!(err, CongestError::DoubleSend { .. }));
     }
@@ -470,7 +487,9 @@ mod tests {
         fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, ())]) -> Step<()> {
             Step::idle()
         }
-        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
     }
 
     #[test]
@@ -480,7 +499,7 @@ mod tests {
             max_rounds: 50,
             ..Default::default()
         };
-        let mut net = Network::new(&g, cfg);
+        let mut net = Network::new(&g, cfg).unwrap();
         let err = net.run("livelock", &Livelock, vec![(); 3]).unwrap_err();
         assert!(matches!(
             err,
@@ -491,7 +510,7 @@ mod tests {
     #[test]
     fn wrong_input_count_is_rejected() {
         let g = graphs::generators::path(3).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let err = net.run("wrong", &Livelock, vec![(); 2]).unwrap_err();
         assert!(matches!(err, CongestError::WrongInputCount { .. }));
     }
@@ -520,21 +539,94 @@ mod tests {
             }
             Step::idle()
         }
-        fn finish(&self, _s: (), _c: &NodeCtx<'_>) {}
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
     }
 
     #[test]
     fn message_to_halted_is_rejected_in_strict_mode() {
         let g = graphs::generators::path(3).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let err = net.run("late", &LateSender, vec![(); 3]).unwrap_err();
         assert!(matches!(err, CongestError::MessageToHalted { .. }));
     }
 
     #[test]
+    fn asymmetric_adjacency_is_a_typed_error() {
+        // Node 0 lists node 1 as a neighbor, but node 1's adjacency is
+        // empty — a malformed topology no validated builder produces.
+        use graphs::{AdjEntry, EdgeId};
+        let g = graphs::WeightedGraph::from_raw_parts(
+            2,
+            vec![(NodeId::new(0), NodeId::new(1))],
+            vec![1],
+            vec![0, 1, 1],
+            vec![AdjEntry {
+                neighbor: NodeId::new(1),
+                edge: EdgeId::new(0),
+                weight: 1,
+            }],
+        );
+        let err = match Network::new(&g, NetworkConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("asymmetric adjacency must be rejected"),
+        };
+        assert_eq!(
+            err,
+            CongestError::AsymmetricAdjacency {
+                node: NodeId::new(0),
+                neighbor: NodeId::new(1),
+            }
+        );
+        assert!(err.to_string().contains("not vice versa"));
+    }
+
+    /// An algorithm whose `finish` reports a protocol violation at node 1.
+    struct BadFinisher;
+    impl Algorithm for BadFinisher {
+        type Input = ();
+        type State = ();
+        type Msg = ();
+        type Output = ();
+        fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<()>) {
+            ((), Outbox::new())
+        }
+        fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, ())]) -> Step<()> {
+            Step::halt()
+        }
+        fn finish(&self, _s: (), ctx: &NodeCtx<'_>) -> FinishResult<()> {
+            if ctx.node.raw() == 1 {
+                Err(crate::algorithm::ProtocolViolation::new("contract broken"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn finish_violations_become_protocol_errors() {
+        let g = graphs::generators::path(3).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let err = net.run("bad", &BadFinisher, vec![(); 3]).unwrap_err();
+        match err {
+            CongestError::Protocol {
+                phase,
+                node,
+                reason,
+            } => {
+                assert_eq!(phase, "bad");
+                assert_eq!(node, NodeId::new(1));
+                assert_eq!(reason, "contract broken");
+            }
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn routing_is_symmetric() {
         let g = graphs::generators::grid2d(3, 3).unwrap();
-        let net = Network::new(&g, NetworkConfig::default());
+        let net = Network::new(&g, NetworkConfig::default()).unwrap();
         for v in 0..9 {
             for (p, (dest, dest_port)) in net.routing[v].iter().enumerate() {
                 // Following the reverse port comes back.

@@ -70,6 +70,26 @@ pub enum CongestError {
         /// Nodes in the network.
         want: usize,
     },
+    /// The input graph's adjacency is not symmetric: `node` lists
+    /// `neighbor`, but not vice versa. Raised by [`crate::Network::new`]
+    /// on malformed topologies instead of panicking.
+    AsymmetricAdjacency {
+        /// The node whose adjacency entry has no reverse.
+        node: NodeId,
+        /// The neighbor that does not list `node` back.
+        neighbor: NodeId,
+    },
+    /// Node code reported a protocol violation from
+    /// [`crate::Algorithm::finish`] (see
+    /// [`crate::algorithm::ProtocolViolation`]).
+    Protocol {
+        /// Phase in which it happened.
+        phase: String,
+        /// The node that detected the violation.
+        node: NodeId,
+        /// The algorithm's description of what went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -114,6 +134,15 @@ impl fmt::Display for CongestError {
             CongestError::WrongInputCount { phase, got, want } => {
                 write!(f, "phase {phase:?}: {got} inputs for {want} nodes")
             }
+            CongestError::AsymmetricAdjacency { node, neighbor } => write!(
+                f,
+                "malformed graph: node {node} lists neighbor {neighbor}, but not vice versa"
+            ),
+            CongestError::Protocol {
+                phase,
+                node,
+                reason,
+            } => write!(f, "phase {phase:?}: protocol violation at node {node}: {reason}"),
         }
     }
 }

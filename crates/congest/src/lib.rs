@@ -34,7 +34,7 @@
 //!
 //! # fn main() -> Result<(), congest::CongestError> {
 //! let g = graphs::generators::cycle(8).expect("valid cycle");
-//! let mut net = Network::new(&g, NetworkConfig::default());
+//! let mut net = Network::new(&g, NetworkConfig::default())?;
 //! // Phase 0: elect a leader and build its BFS tree.
 //! let bfs = net.run("leader_bfs", &LeaderBfs::new(), vec![(); 8])?;
 //! // Phase 1: sum every node's weighted degree up the tree.
@@ -62,7 +62,7 @@ pub mod metrics;
 pub mod node;
 pub mod primitives;
 
-pub use algorithm::{Algorithm, Outbox, Step};
+pub use algorithm::{Algorithm, FinishResult, Outbox, ProtocolViolation, Step};
 pub use config::NetworkConfig;
 pub use engine::{Network, RunOutcome};
 pub use error::CongestError;

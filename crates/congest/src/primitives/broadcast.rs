@@ -1,7 +1,7 @@
 //! Broadcast down a tree/forest: a single item, or a pipelined stream of
 //! `k` items in `O(k + height)` rounds.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, ProtocolViolation, Step};
 use crate::message::{Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use std::collections::VecDeque;
@@ -60,12 +60,11 @@ impl<T: Message> Algorithm for Broadcast<T> {
         Step::idle()
     }
 
-    fn finish(&self, s: BcState<T>, ctx: &NodeCtx<'_>) -> T {
-        s.item.unwrap_or_else(|| {
-            panic!(
-                "node {} never received the broadcast (is the forest consistent?)",
-                ctx.node
-            )
+    fn finish(&self, s: BcState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<T> {
+        // A protocol violation (inconsistent forest input), not a panic:
+        // the engine reports it as a typed `CongestError::Protocol`.
+        s.item.ok_or_else(|| {
+            ProtocolViolation::new("never received the broadcast (is the forest consistent?)")
         })
     }
 }
@@ -168,8 +167,8 @@ impl<T: Message> Algorithm for BroadcastItems<T> {
         }
     }
 
-    fn finish(&self, s: BciState<T>, _ctx: &NodeCtx<'_>) -> Vec<T> {
-        s.received
+    fn finish(&self, s: BciState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Vec<T>> {
+        Ok(s.received)
     }
 }
 
@@ -193,7 +192,7 @@ mod tests {
     #[test]
     fn single_broadcast_reaches_everyone() {
         let g = generators::grid2d(4, 4).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Option<u64>)> = trees
             .into_iter()
@@ -208,7 +207,7 @@ mod tests {
     #[test]
     fn pipelined_broadcast_delivers_all_items_in_order() {
         let g = generators::path(10).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let items: Vec<u64> = (100..120).collect();
         let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
@@ -231,10 +230,38 @@ mod tests {
     }
 
     #[test]
+    fn missing_broadcast_is_a_violation_not_a_panic() {
+        // A node that never received the item reports a protocol
+        // violation from `finish` instead of aborting the process.
+        let state: BcState<u64> = BcState {
+            tree: TreeInfo {
+                parent: Some(crate::node::Port(0)),
+                children: vec![],
+                depth: 1,
+            },
+            item: None,
+        };
+        let neighbors = [crate::node::NeighborInfo {
+            id: graphs::NodeId::new(1),
+            weight: 1,
+            edge: graphs::EdgeId::new(0),
+        }];
+        let ctx = crate::node::NodeCtx {
+            node: graphs::NodeId::new(0),
+            n: 2,
+            bandwidth_bits: 64,
+            round: 1,
+            neighbors: &neighbors,
+        };
+        let err = Broadcast::<u64>::new().finish(state, &ctx).unwrap_err();
+        assert!(err.reason.contains("never received"));
+    }
+
+    #[test]
     fn forest_broadcast_stays_within_fragments() {
         // Path of 6 split into {0,1,2} rooted at 0 and {3,4,5} rooted at 3.
         let g = generators::path(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
             parent: parent.map(Port),
             children: children.into_iter().map(Port).collect(),

@@ -5,7 +5,7 @@
 //! its own tree, so running one convergecast per fragment in parallel is the
 //! same single phase.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::{value_bits, Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use std::marker::PhantomData;
@@ -166,8 +166,8 @@ impl<T: Aggregate> Algorithm for Convergecast<T> {
         }
     }
 
-    fn finish(&self, s: CcState<T>, _ctx: &NodeCtx<'_>) -> Option<T> {
-        s.tree.parent.is_none().then_some(s.acc)
+    fn finish(&self, s: CcState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Option<T>> {
+        Ok(s.tree.parent.is_none().then_some(s.acc))
     }
 }
 
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn sums_node_ids_on_grid() {
         let g = generators::grid2d(4, 5).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, SumU64)> = trees
             .into_iter()
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn min_and_max() {
         let g = generators::cycle(9).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, (MinU64, MaxU64))> = trees
             .into_iter()
@@ -234,7 +234,7 @@ mod tests {
         // A path 0-1-2-3-4-5 manually split into two fragments:
         // {0,1,2} rooted at 0, {3,4,5} rooted at 3.
         let g = generators::path(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         // Ports on a path: node 0 has port0 -> 1; nodes 1..4 have port0 -> left, port1 -> right; node 5 port0 -> 4.
         let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
             parent: parent.map(Port),

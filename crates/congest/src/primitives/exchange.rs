@@ -5,7 +5,7 @@
 //! the endpoints of every graph edge exchange their `O(√n)` ancestor lists
 //! through that edge, all edges in parallel.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::Message;
 use crate::node::{NodeCtx, Port};
 use crate::primitives::broadcast::StreamMsg;
@@ -59,8 +59,8 @@ impl<T: Message> Algorithm for NeighborExchange<T> {
         Step::halt()
     }
 
-    fn finish(&self, s: NxState<T>, _ctx: &NodeCtx<'_>) -> Vec<Option<T>> {
-        s.received
+    fn finish(&self, s: NxState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Vec<Option<T>>> {
+        Ok(s.received)
     }
 }
 
@@ -176,8 +176,8 @@ impl<T: Message> Algorithm for EdgeListExchange<T> {
         }
     }
 
-    fn finish(&self, s: ElxState<T>, _ctx: &NodeCtx<'_>) -> Vec<Vec<T>> {
-        s.received
+    fn finish(&self, s: ElxState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Vec<Vec<T>>> {
+        Ok(s.received)
     }
 }
 
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn neighbor_exchange_swaps_ids() {
         let g = generators::cycle(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let inputs: Vec<u64> = (0..6).map(|v| v * 11).collect();
         let out = net.run("nx", &NeighborExchange::new(), inputs).unwrap();
         for v in 0..6usize {
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn list_exchange_swaps_lists() {
         let g = generators::grid2d(3, 3).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         // Node v sends to each port the list [v, v, v] of varying length v % 3 + 1.
         let inputs: Vec<Vec<Vec<u64>>> = (0..9usize)
             .map(|v| {
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn list_exchange_with_empty_lists() {
         let g = generators::path(4).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let inputs: Vec<Vec<Vec<u64>>> = (0..4usize)
             .map(|v| vec![Vec::new(); g.degree(graphs::NodeId::from_index(v))])
             .collect();
@@ -246,7 +246,7 @@ mod tests {
     fn list_exchange_pipelines() {
         // Two nodes, one edge, long lists: rounds ≈ k.
         let g = generators::path(2).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let k = 50u64;
         let inputs = vec![
             vec![(0..k).collect::<Vec<u64>>()],

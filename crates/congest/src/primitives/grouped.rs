@@ -3,25 +3,50 @@
 //! order and are merge-summed on the way up, so `k` distinct keys cost
 //! `O(k + height)` rounds — this is exactly how the paper counts, per
 //! merging node `v`, the `⟨v⟩` messages of Step 5 "by pipelining".
+//!
+//! The stream protocol itself (buffers, readiness, `End` accounting, the
+//! one-item-per-round budget) lives in [`crate::primitives::merge`]; this
+//! module only supplies the sum monoid and the root-side output handling.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::{value_bits, Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use crate::primitives::broadcast::StreamMsg;
-use std::collections::VecDeque;
+use crate::primitives::merge::{KeyedMonoid, KeyedStreamReduce};
 
 /// One `(key, partial sum)` pair in flight.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyedSum {
-    /// Group key.
-    pub key: u32,
+    /// Group key. Full `u64` range: wide enough for packed id pairs
+    /// (`lo·n + hi`), which cost `2⌈log₂ n⌉` bits on the wire.
+    pub key: u64,
     /// Partial sum for that key.
     pub value: u64,
 }
 
 impl Message for KeyedSum {
     fn bit_len(&self) -> usize {
-        TAG_BITS + value_bits(self.key as u64) + value_bits(self.value)
+        TAG_BITS + value_bits(self.key) + value_bits(self.value)
+    }
+}
+
+/// The sum monoid over [`KeyedSum`]: equal keys add their values
+/// (associative and commutative, as [`KeyedMonoid`] requires).
+#[derive(Clone, Debug, Default)]
+pub struct SumMonoid;
+
+impl KeyedMonoid for SumMonoid {
+    type Item = KeyedSum;
+
+    fn key(item: &KeyedSum) -> u64 {
+        item.key
+    }
+
+    fn combine(a: KeyedSum, b: KeyedSum) -> KeyedSum {
+        KeyedSum {
+            key: a.key,
+            value: a.value + b.value,
+        }
     }
 }
 
@@ -38,100 +63,32 @@ impl GroupedSum {
     }
 }
 
-/// One incoming stream (a child's, or our own input).
-#[derive(Debug, Default)]
-struct Stream {
-    buf: VecDeque<KeyedSum>,
-    ended: bool,
-}
-
-impl Stream {
-    /// Front key if buffered.
-    fn front_key(&self) -> Option<u32> {
-        self.buf.front().map(|p| p.key)
-    }
-
-    /// Ready = we can safely decide the minimum: buffered or finished.
-    fn ready(&self) -> bool {
-        self.ended || !self.buf.is_empty()
-    }
-}
-
-/// Node state for [`GroupedSum`].
+/// Node state for [`GroupedSum`]: the shared reducer core plus the root's
+/// accumulated output.
 #[derive(Debug)]
 pub struct GsState {
-    tree: TreeInfo,
-    /// Index 0 = own input; 1.. = children in `tree.children` order.
-    streams: Vec<Stream>,
-    /// Port → stream slot.
-    slot_of_port: Vec<usize>,
+    core: KeyedStreamReduce<SumMonoid>,
+    is_root: bool,
     /// Root only: accumulated output.
-    out: Vec<(u32, u64)>,
-    end_sent: bool,
-}
-
-impl GsState {
-    /// If every stream is ready and some key is buffered, pops and sums the
-    /// minimal key across all streams.
-    fn try_pop_min(&mut self) -> Option<KeyedSum> {
-        if !self.streams.iter().all(Stream::ready) {
-            return None;
-        }
-        let k = self.streams.iter().filter_map(Stream::front_key).min()?;
-        let mut total = 0u64;
-        for s in &mut self.streams {
-            while s.front_key() == Some(k) {
-                total += s.buf.pop_front().expect("front exists").value;
-            }
-        }
-        Some(KeyedSum {
-            key: k,
-            value: total,
-        })
-    }
-
-    fn exhausted(&self) -> bool {
-        self.streams.iter().all(|s| s.ended && s.buf.is_empty())
-    }
+    out: Vec<(u64, u64)>,
 }
 
 impl Algorithm for GroupedSum {
-    type Input = (TreeInfo, Vec<(u32, u64)>);
+    type Input = (TreeInfo, Vec<(u64, u64)>);
     type State = GsState;
     type Msg = StreamMsg<KeyedSum>;
-    type Output = Option<Vec<(u32, u64)>>;
+    type Output = Option<Vec<(u64, u64)>>;
 
-    fn boot(
-        &self,
-        ctx: &NodeCtx<'_>,
-        (tree, mut items): Self::Input,
-    ) -> (GsState, Outbox<Self::Msg>) {
-        // Sort + merge duplicates in the node's own contribution.
-        items.sort_unstable_by_key(|&(k, _)| k);
-        let mut own = VecDeque::with_capacity(items.len());
-        for (k, v) in items {
-            match own.back_mut() {
-                Some(KeyedSum { key, value }) if *key == k => *value += v,
-                _ => own.push_back(KeyedSum { key: k, value: v }),
-            }
-        }
-        let mut streams = Vec::with_capacity(1 + tree.children.len());
-        streams.push(Stream {
-            buf: own,
-            ended: true, // our own input is complete from the start
-        });
-        let mut slot_of_port = vec![usize::MAX; ctx.degree()];
-        for (i, &c) in tree.children.iter().enumerate() {
-            slot_of_port[c.index()] = 1 + i;
-            streams.push(Stream::default());
-        }
+    fn boot(&self, ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (GsState, Outbox<Self::Msg>) {
+        let own = items
+            .into_iter()
+            .map(|(key, value)| KeyedSum { key, value })
+            .collect();
         (
             GsState {
-                tree,
-                streams,
-                slot_of_port,
+                is_root: tree.is_root(),
+                core: KeyedStreamReduce::new(ctx, &tree, own),
                 out: Vec::new(),
-                end_sent: false,
             },
             Outbox::new(),
         )
@@ -143,44 +100,13 @@ impl Algorithm for GroupedSum {
         _ctx: &NodeCtx<'_>,
         inbox: &[(Port, StreamMsg<KeyedSum>)],
     ) -> Step<Self::Msg> {
-        for (port, msg) in inbox {
-            let slot = s.slot_of_port[port.index()];
-            debug_assert_ne!(slot, usize::MAX, "messages only arrive from children");
-            match msg {
-                StreamMsg::Item(p) => s.streams[slot].buf.push_back(p.clone()),
-                StreamMsg::End => s.streams[slot].ended = true,
-            }
-        }
-        match s.tree.parent {
-            None => {
-                // Root: drain everything that is decided.
-                while let Some(p) = s.try_pop_min() {
-                    s.out.push((p.key, p.value));
-                }
-                if s.exhausted() {
-                    Step::halt()
-                } else {
-                    Step::idle()
-                }
-            }
-            Some(parent) => {
-                let mut out = Outbox::new();
-                if let Some(p) = s.try_pop_min() {
-                    out.send(parent, StreamMsg::Item(p));
-                    Step::Continue(out)
-                } else if s.exhausted() && !s.end_sent {
-                    s.end_sent = true;
-                    out.send(parent, StreamMsg::End);
-                    Step::Halt(out)
-                } else {
-                    Step::idle()
-                }
-            }
-        }
+        s.core.absorb(inbox);
+        let out = &mut s.out;
+        s.core.relay_round(|p| out.push((p.key, p.value)))
     }
 
-    fn finish(&self, s: GsState, _ctx: &NodeCtx<'_>) -> Self::Output {
-        s.tree.parent.is_none().then_some(s.out)
+    fn finish(&self, s: GsState, _ctx: &NodeCtx<'_>) -> FinishResult<Self::Output> {
+        Ok(s.is_root.then_some(s.out))
     }
 }
 
@@ -203,7 +129,7 @@ mod tests {
             .collect()
     }
 
-    fn naive_grouped(inputs: &[Vec<(u32, u64)>]) -> Vec<(u32, u64)> {
+    fn naive_grouped(inputs: &[Vec<(u64, u64)>]) -> Vec<(u64, u64)> {
         let mut m = std::collections::BTreeMap::new();
         for l in inputs {
             for &(k, v) in l {
@@ -218,17 +144,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for n in [3usize, 10, 40] {
             let g = generators::erdos_renyi_connected(n, 0.2, &mut rng).unwrap();
-            let mut net = Network::new(&g, NetworkConfig::default());
+            let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
             let trees = bfs_trees(&g, &mut net);
-            let lists: Vec<Vec<(u32, u64)>> = (0..n)
+            let lists: Vec<Vec<(u64, u64)>> = (0..n)
                 .map(|_| {
                     (0..rng.gen_range(0..6))
-                        .map(|_| (rng.gen_range(0..8u32), rng.gen_range(1..100u64)))
+                        .map(|_| (rng.gen_range(0..8u64), rng.gen_range(1..100u64)))
                         .collect()
                 })
                 .collect();
             let want = naive_grouped(&lists);
-            let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> =
+            let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> =
                 trees.into_iter().zip(lists.iter().cloned()).collect();
             let out = net.run("grouped", &GroupedSum::new(), inputs).unwrap();
             let got = out.outputs[0].clone().expect("root output");
@@ -240,11 +166,11 @@ mod tests {
     fn pipelining_bound_with_many_keys() {
         // Deep path, many keys at the far end: rounds ≈ k + depth.
         let n = 25;
-        let k = 30u32;
+        let k = 30u64;
         let g = generators::path(n).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = trees
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = trees
             .into_iter()
             .enumerate()
             .map(|(v, t)| {
@@ -259,7 +185,7 @@ mod tests {
         let out = net.run("grouped_path", &GroupedSum::new(), inputs).unwrap();
         assert_eq!(out.outputs[0].as_ref().unwrap().len(), k as usize);
         assert!(
-            out.metrics.rounds <= (n as u64 - 1) + k as u64 + 4,
+            out.metrics.rounds <= (n as u64 - 1) + k + 4,
             "rounds = {}",
             out.metrics.rounds
         );
@@ -270,9 +196,9 @@ mod tests {
         // Star: every leaf contributes to the same two keys.
         let n = 10;
         let g = generators::star(n).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = trees
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = trees
             .into_iter()
             .enumerate()
             .map(|(v, t)| (t, vec![(1, v as u64), (2, 1u64)]))
@@ -285,13 +211,28 @@ mod tests {
     #[test]
     fn empty_everywhere() {
         let g = generators::cycle(5).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> =
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> =
             trees.into_iter().map(|t| (t, vec![])).collect();
         let out = net
             .run("grouped_empty", &GroupedSum::new(), inputs)
             .unwrap();
         assert_eq!(out.outputs[0], Some(vec![]));
+    }
+
+    #[test]
+    fn keys_beyond_u32_survive_the_trip() {
+        // Keys above 2³² — the whole point of the u64 widening.
+        let g = generators::star(4).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let trees = bfs_trees(&g, &mut net);
+        let big = (1u64 << 40) + 17;
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = trees
+            .into_iter()
+            .map(|t| (t, vec![(big, 3), (1, 1)]))
+            .collect();
+        let out = net.run("grouped_u64", &GroupedSum::new(), inputs).unwrap();
+        assert_eq!(out.outputs[0], Some(vec![(1, 4), (big, 12)]));
     }
 }

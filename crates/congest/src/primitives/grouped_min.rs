@@ -8,22 +8,27 @@
 //! the distributed MST: every node proposes its minimum-key outgoing edge
 //! per fragment, and the leader receives, for each fragment, the global
 //! minimum proposal.
+//!
+//! The stream protocol lives in [`crate::primitives::merge`]; this module
+//! supplies the argmin monoid (keep the preferable item of an equal-key
+//! pair) and the root-side output handling.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::{value_bits, Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use crate::primitives::broadcast::StreamMsg;
-use std::collections::VecDeque;
+use crate::primitives::merge::{KeyedMonoid, KeyedStreamReduce};
 use std::marker::PhantomData;
 
 /// An item with a group key and a total preference order within the key.
 pub trait KeyedItem: Message {
     /// The group key.
-    fn key(&self) -> u32;
+    fn key(&self) -> u64;
 
     /// Returns `true` if `self` is strictly preferable to `other`
-    /// (callers must ensure a strict total order within each key for
-    /// deterministic results).
+    /// (callers must ensure a strict total order within each key — the
+    /// argmin monoid is only commutative under a strict order, see
+    /// [`KeyedMonoid`]).
     fn better_than(&self, other: &Self) -> bool;
 }
 
@@ -31,7 +36,7 @@ pub trait KeyedItem: Message {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyedMin {
     /// Group key.
-    pub key: u32,
+    pub key: u64,
     /// Value to minimise.
     pub value: u64,
     /// Deterministic tie-break (e.g. an edge id).
@@ -40,16 +45,38 @@ pub struct KeyedMin {
 
 impl Message for KeyedMin {
     fn bit_len(&self) -> usize {
-        TAG_BITS + value_bits(self.key as u64) + value_bits(self.value) + value_bits(self.tag)
+        TAG_BITS + value_bits(self.key) + value_bits(self.value) + value_bits(self.tag)
     }
 }
 
 impl KeyedItem for KeyedMin {
-    fn key(&self) -> u32 {
+    fn key(&self) -> u64 {
         self.key
     }
     fn better_than(&self, other: &Self) -> bool {
         (self.value, self.tag) < (other.value, other.tag)
+    }
+}
+
+/// The argmin monoid over any [`KeyedItem`]: of two equal-key items, keep
+/// the preferable one (`better_than` ties broken toward the left operand,
+/// which is unobservable under a strict total order).
+#[derive(Clone, Debug, Default)]
+pub struct BestMonoid<T>(PhantomData<T>);
+
+impl<T: KeyedItem> KeyedMonoid for BestMonoid<T> {
+    type Item = T;
+
+    fn key(item: &T) -> u64 {
+        item.key()
+    }
+
+    fn combine(a: T, b: T) -> T {
+        if b.better_than(&a) {
+            b
+        } else {
+            a
+        }
     }
 }
 
@@ -70,68 +97,14 @@ impl<T> GroupedBest<T> {
     }
 }
 
-/// One incoming stream (a child's, or the node's own input).
+/// Node state for [`GroupedBest`]: the shared reducer core plus the
+/// root's accumulated output.
 #[derive(Debug)]
-struct Stream<T> {
-    buf: VecDeque<T>,
-    ended: bool,
-}
-
-impl<T> Default for Stream<T> {
-    fn default() -> Self {
-        Stream {
-            buf: VecDeque::new(),
-            ended: false,
-        }
-    }
-}
-
-impl<T: KeyedItem> Stream<T> {
-    fn front_key(&self) -> Option<u32> {
-        self.buf.front().map(KeyedItem::key)
-    }
-    fn ready(&self) -> bool {
-        self.ended || !self.buf.is_empty()
-    }
-}
-
-/// Node state for [`GroupedBest`].
-#[derive(Debug)]
-pub struct GbState<T> {
-    tree: TreeInfo,
-    /// Slot 0 = own input; 1.. = children in `tree.children` order.
-    streams: Vec<Stream<T>>,
-    /// Port → stream slot.
-    slot_of_port: Vec<usize>,
+pub struct GbState<T: KeyedItem> {
+    core: KeyedStreamReduce<BestMonoid<T>>,
+    is_root: bool,
     /// Root only: accumulated output.
     out: Vec<T>,
-    end_sent: bool,
-}
-
-impl<T: KeyedItem> GbState<T> {
-    /// If every stream is ready and some key is buffered, pops the
-    /// minimal key from all streams and reduces to the best item.
-    fn try_pop_min(&mut self) -> Option<T> {
-        if !self.streams.iter().all(Stream::ready) {
-            return None;
-        }
-        let k = self.streams.iter().filter_map(Stream::front_key).min()?;
-        let mut best: Option<T> = None;
-        for s in &mut self.streams {
-            while s.front_key() == Some(k) {
-                let item = s.buf.pop_front().expect("front exists");
-                best = match best {
-                    Some(b) if !item.better_than(&b) => Some(b),
-                    _ => Some(item),
-                };
-            }
-        }
-        best
-    }
-
-    fn exhausted(&self) -> bool {
-        self.streams.iter().all(|s| s.ended && s.buf.is_empty())
-    }
 }
 
 impl<T: KeyedItem> Algorithm for GroupedBest<T> {
@@ -143,42 +116,13 @@ impl<T: KeyedItem> Algorithm for GroupedBest<T> {
     fn boot(
         &self,
         ctx: &NodeCtx<'_>,
-        (tree, mut items): Self::Input,
+        (tree, items): Self::Input,
     ) -> (GbState<T>, Outbox<Self::Msg>) {
-        // Sort + reduce duplicates in the node's own contribution.
-        items.sort_by(|a, b| {
-            a.key().cmp(&b.key()).then_with(|| {
-                if a.better_than(b) {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Greater
-                }
-            })
-        });
-        let mut own: VecDeque<T> = VecDeque::with_capacity(items.len());
-        for item in items {
-            match own.back() {
-                Some(last) if last.key() == item.key() => {} // worse duplicate
-                _ => own.push_back(item),
-            }
-        }
-        let mut streams = Vec::with_capacity(1 + tree.children.len());
-        streams.push(Stream {
-            buf: own,
-            ended: true, // the node's own input is complete from the start
-        });
-        let mut slot_of_port = vec![usize::MAX; ctx.degree()];
-        for (i, &c) in tree.children.iter().enumerate() {
-            slot_of_port[c.index()] = 1 + i;
-            streams.push(Stream::default());
-        }
         (
             GbState {
-                tree,
-                streams,
-                slot_of_port,
+                is_root: tree.is_root(),
+                core: KeyedStreamReduce::new(ctx, &tree, items),
                 out: Vec::new(),
-                end_sent: false,
             },
             Outbox::new(),
         )
@@ -190,43 +134,13 @@ impl<T: KeyedItem> Algorithm for GroupedBest<T> {
         _ctx: &NodeCtx<'_>,
         inbox: &[(Port, StreamMsg<T>)],
     ) -> Step<Self::Msg> {
-        for (port, msg) in inbox {
-            let slot = s.slot_of_port[port.index()];
-            debug_assert_ne!(slot, usize::MAX, "messages only arrive from children");
-            match msg {
-                StreamMsg::Item(p) => s.streams[slot].buf.push_back(p.clone()),
-                StreamMsg::End => s.streams[slot].ended = true,
-            }
-        }
-        match s.tree.parent {
-            None => {
-                while let Some(p) = s.try_pop_min() {
-                    s.out.push(p);
-                }
-                if s.exhausted() {
-                    Step::halt()
-                } else {
-                    Step::idle()
-                }
-            }
-            Some(parent) => {
-                let mut out = Outbox::new();
-                if let Some(p) = s.try_pop_min() {
-                    out.send(parent, StreamMsg::Item(p));
-                    Step::Continue(out)
-                } else if s.exhausted() && !s.end_sent {
-                    s.end_sent = true;
-                    out.send(parent, StreamMsg::End);
-                    Step::Halt(out)
-                } else {
-                    Step::idle()
-                }
-            }
-        }
+        s.core.absorb(inbox);
+        let out = &mut s.out;
+        s.core.relay_round(|item| out.push(item))
     }
 
-    fn finish(&self, s: GbState<T>, _ctx: &NodeCtx<'_>) -> Self::Output {
-        s.tree.parent.is_none().then_some(s.out)
+    fn finish(&self, s: GbState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Self::Output> {
+        Ok(s.is_root.then_some(s.out))
     }
 }
 
@@ -250,7 +164,7 @@ mod tests {
     }
 
     fn naive_best(lists: &[Vec<KeyedMin>]) -> Vec<KeyedMin> {
-        let mut best: std::collections::BTreeMap<u32, KeyedMin> = std::collections::BTreeMap::new();
+        let mut best: std::collections::BTreeMap<u64, KeyedMin> = std::collections::BTreeMap::new();
         for l in lists {
             for item in l {
                 match best.get(&item.key) {
@@ -269,13 +183,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for n in [4usize, 12, 40] {
             let g = generators::erdos_renyi_connected(n, 0.2, &mut rng).unwrap();
-            let mut net = Network::new(&g, NetworkConfig::default());
+            let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
             let trees = bfs_trees(&g, &mut net);
             let lists: Vec<Vec<KeyedMin>> = (0..n)
                 .map(|v| {
                     (0..rng.gen_range(0usize..5))
                         .map(|i| KeyedMin {
-                            key: rng.gen_range(0u32..6),
+                            key: rng.gen_range(0u64..6),
                             value: rng.gen_range(1u64..100),
                             tag: (v * 10 + i) as u64,
                         })
@@ -296,9 +210,9 @@ mod tests {
     #[test]
     fn pipelines_many_keys_on_a_path() {
         let n = 20;
-        let k = 25u32;
+        let k = 25u64;
         let g = generators::path(n).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> = trees
             .into_iter()
@@ -308,7 +222,7 @@ mod tests {
                     (0..k)
                         .map(|key| KeyedMin {
                             key,
-                            value: key as u64 + 1,
+                            value: key + 1,
                             tag: 0,
                         })
                         .collect()
@@ -321,7 +235,7 @@ mod tests {
         let out = net.run("gb_path", &GroupedBest::new(), inputs).unwrap();
         assert_eq!(out.outputs[0].as_ref().unwrap().len(), k as usize);
         assert!(
-            out.metrics.rounds <= (n as u64 - 1) + k as u64 + 4,
+            out.metrics.rounds <= (n as u64 - 1) + k + 4,
             "rounds = {} (pipelining bound)",
             out.metrics.rounds
         );
@@ -330,7 +244,7 @@ mod tests {
     #[test]
     fn duplicate_keys_reduce_to_the_minimum_with_tag_tiebreak() {
         let g = generators::star(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> = trees
             .into_iter()
@@ -361,7 +275,7 @@ mod tests {
     #[test]
     fn empty_inputs_terminate() {
         let g = generators::cycle(7).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Vec<KeyedMin>)> =
             trees.into_iter().map(|t| (t, vec![])).collect();

@@ -18,7 +18,7 @@
 //! stays unresolved. Only the global minimum's echo completes — that is the
 //! correctness argument for the done wave.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::{value_bits, Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use graphs::NodeId;
@@ -236,16 +236,16 @@ impl Algorithm for LeaderBfs {
         Step::Continue(out)
     }
 
-    fn finish(&self, s: LeaderState, ctx: &NodeCtx<'_>) -> LeaderBfsOutput {
+    fn finish(&self, s: LeaderState, ctx: &NodeCtx<'_>) -> FinishResult<LeaderBfsOutput> {
         let children: Vec<Port> = ctx.ports().filter(|p| s.children[p.index()]).collect();
-        LeaderBfsOutput {
+        Ok(LeaderBfsOutput {
             leader: NodeId::new(s.best),
             tree: TreeInfo {
                 parent: s.parent,
                 children,
                 depth: s.depth,
             },
-        }
+        })
     }
 }
 
@@ -258,7 +258,7 @@ mod tests {
     use graphs::WeightedGraph;
 
     fn run_leader(g: &WeightedGraph) -> (Vec<LeaderBfsOutput>, u64) {
-        let mut net = Network::new(g, NetworkConfig::default());
+        let mut net = Network::new(g, NetworkConfig::default()).unwrap();
         let out = net
             .run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
             .expect("leader election succeeds");
@@ -349,7 +349,7 @@ mod tests {
     #[test]
     fn messages_are_small() {
         let g = generators::grid2d(6, 6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let out = net
             .run("leader_bfs", &LeaderBfs::new(), vec![(); 36])
             .unwrap();

@@ -8,7 +8,10 @@
 //!   root down its tree (`O(k + height)` rounds).
 //! * [`upcast`] — pipelined collection of all items at the root
 //!   (`O(k + height)` rounds).
-//! * [`grouped`] — pipelined grouped sums keyed by `u32`, merged in sorted
+//! * [`merge`] — the shared pipelined sorted-stream merge core
+//!   ([`merge::KeyedStreamReduce`]): `u64` keys, monoid reduction, one
+//!   protocol implementation behind all three grouped primitives.
+//! * [`grouped`] — pipelined grouped sums keyed by `u64`, merged in sorted
 //!   key order on the way up (`O(k + height)` rounds).
 //! * [`grouped_min`] — pipelined grouped argmin under the same pipelining
 //!   bound (the Borůvka-over-BFS aggregation of the distributed MST).
@@ -27,14 +30,16 @@ pub mod exchange;
 pub mod grouped;
 pub mod grouped_min;
 pub mod leader_bfs;
+pub mod merge;
 pub mod subtree;
 pub mod upcast;
 
 pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
 pub use exchange::{EdgeListExchange, NeighborExchange};
-pub use grouped::GroupedSum;
-pub use grouped_min::{GroupedBest, KeyedItem, KeyedMin};
+pub use grouped::{GroupedSum, KeyedSum, SumMonoid};
+pub use grouped_min::{BestMonoid, GroupedBest, KeyedItem, KeyedMin};
 pub use leader_bfs::{LeaderBfs, LeaderBfsOutput};
+pub use merge::{KeyedMonoid, KeyedStreamReduce};
 pub use subtree::{KeyedSubtreeSum, SubtreeSums};
 pub use upcast::UpcastItems;

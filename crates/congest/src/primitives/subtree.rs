@@ -11,12 +11,17 @@
 //!   paper's Step 5 type-(ii) counting: "every node `u` has to send the
 //!   number of messages `⟨v⟩` to its parent, for all `v` that is an
 //!   ancestor of `u` in the same fragment … by pipelining".
+//!
+//! The stream protocol of [`KeyedSubtreeSum`] lives in
+//! [`crate::primitives::merge`]; this module adds the per-node
+//! interception (claim the batches keyed by the node's own id before
+//! relaying the rest).
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::node::{NodeCtx, Port, TreeInfo};
 use crate::primitives::broadcast::StreamMsg;
-use crate::primitives::grouped::KeyedSum;
-use std::collections::VecDeque;
+use crate::primitives::grouped::{KeyedSum, SumMonoid};
+use crate::primitives::merge::KeyedStreamReduce;
 
 /// Per-node subtree sums over a tree/forest. Input: `(TreeInfo, u64)`;
 /// output at **every** node: the sum over its subtree.
@@ -78,8 +83,8 @@ impl Algorithm for SubtreeSums {
         }
     }
 
-    fn finish(&self, s: SsState, _ctx: &NodeCtx<'_>) -> u64 {
-        s.acc
+    fn finish(&self, s: SsState, _ctx: &NodeCtx<'_>) -> FinishResult<u64> {
+        Ok(s.acc)
     }
 }
 
@@ -101,91 +106,31 @@ impl KeyedSubtreeSum {
     }
 }
 
-/// One child stream of [`KeyedSubtreeSum`].
-#[derive(Debug, Default)]
-struct KStream {
-    buf: VecDeque<KeyedSum>,
-    ended: bool,
-}
-
-impl KStream {
-    fn ready(&self) -> bool {
-        self.ended || !self.buf.is_empty()
-    }
-    fn front_key(&self) -> Option<u32> {
-        self.buf.front().map(|p| p.key)
-    }
-}
-
-/// Node state for [`KeyedSubtreeSum`].
+/// Node state for [`KeyedSubtreeSum`]: the shared reducer core plus the
+/// node's own running total.
 #[derive(Debug)]
 pub struct KsState {
-    tree: TreeInfo,
-    streams: Vec<KStream>,
-    slot_of_port: Vec<usize>,
+    core: KeyedStreamReduce<SumMonoid>,
+    is_root: bool,
     my_total: u64,
-    end_sent: bool,
-}
-
-impl KsState {
-    fn try_pop_min(&mut self) -> Option<KeyedSum> {
-        if !self.streams.iter().all(KStream::ready) {
-            return None;
-        }
-        let k = self.streams.iter().filter_map(KStream::front_key).min()?;
-        let mut total = 0u64;
-        for s in &mut self.streams {
-            while s.front_key() == Some(k) {
-                total += s.buf.pop_front().expect("front exists").value;
-            }
-        }
-        Some(KeyedSum {
-            key: k,
-            value: total,
-        })
-    }
-
-    fn exhausted(&self) -> bool {
-        self.streams.iter().all(|s| s.ended && s.buf.is_empty())
-    }
 }
 
 impl Algorithm for KeyedSubtreeSum {
-    type Input = (TreeInfo, Vec<(u32, u64)>);
+    type Input = (TreeInfo, Vec<(u64, u64)>);
     type State = KsState;
     type Msg = StreamMsg<KeyedSum>;
     type Output = u64;
 
-    fn boot(
-        &self,
-        ctx: &NodeCtx<'_>,
-        (tree, mut items): Self::Input,
-    ) -> (KsState, Outbox<Self::Msg>) {
-        items.sort_unstable_by_key(|&(k, _)| k);
-        let mut own = VecDeque::with_capacity(items.len());
-        for (k, v) in items {
-            match own.back_mut() {
-                Some(KeyedSum { key, value }) if *key == k => *value += v,
-                _ => own.push_back(KeyedSum { key: k, value: v }),
-            }
-        }
-        let mut streams = Vec::with_capacity(1 + tree.children.len());
-        streams.push(KStream {
-            buf: own,
-            ended: true,
-        });
-        let mut slot_of_port = vec![usize::MAX; ctx.degree()];
-        for (i, &c) in tree.children.iter().enumerate() {
-            slot_of_port[c.index()] = 1 + i;
-            streams.push(KStream::default());
-        }
+    fn boot(&self, ctx: &NodeCtx<'_>, (tree, items): Self::Input) -> (KsState, Outbox<Self::Msg>) {
+        let own = items
+            .into_iter()
+            .map(|(key, value)| KeyedSum { key, value })
+            .collect();
         (
             KsState {
-                tree,
-                streams,
-                slot_of_port,
+                is_root: tree.is_root(),
+                core: KeyedStreamReduce::new(ctx, &tree, own),
                 my_total: 0,
-                end_sent: false,
             },
             Outbox::new(),
         )
@@ -197,71 +142,35 @@ impl Algorithm for KeyedSubtreeSum {
         ctx: &NodeCtx<'_>,
         inbox: &[(Port, StreamMsg<KeyedSum>)],
     ) -> Step<Self::Msg> {
-        for (port, msg) in inbox {
-            let slot = s.slot_of_port[port.index()];
-            debug_assert_ne!(slot, usize::MAX, "messages only arrive from children");
-            match msg {
-                StreamMsg::Item(p) => s.streams[slot].buf.push_back(p.clone()),
-                StreamMsg::End => s.streams[slot].ended = true,
-            }
-        }
-        let me = ctx.node.raw();
-        // Claim every decided batch for our own key before forwarding one
-        // batch upward per round.
-        loop {
-            // Peek: is the next decided key ours?
-            let next_is_mine = {
-                if !s.streams.iter().all(KStream::ready) {
-                    false
-                } else {
-                    s.streams.iter().filter_map(KStream::front_key).min() == Some(me)
-                }
-            };
-            if !next_is_mine {
-                break;
-            }
-            let p = s.try_pop_min().expect("ready and non-empty");
+        s.core.absorb(inbox);
+        let me = ctx.node.raw() as u64;
+        // Claim every decided batch for our own key before relaying one
+        // batch upward; our key never travels further.
+        while s.core.peek_key() == Some(me) {
+            let p = s.core.pop_min().expect("peeked key is decided");
             s.my_total += p.value;
         }
-        match s.tree.parent {
-            None => {
-                // Root: drain and drop foreign keys (should not exist when
-                // used per contract).
-                while let Some(p) = s.try_pop_min() {
-                    debug_assert_eq!(
-                        p.key, me,
-                        "token keyed by {} reached the root {} — key was not an ancestor",
-                        p.key, me
-                    );
-                    if p.key == me {
-                        s.my_total += p.value;
-                    }
-                }
-                if s.exhausted() {
-                    Step::halt()
-                } else {
-                    Step::idle()
-                }
+        let my_total = &mut s.my_total;
+        let is_root = s.is_root;
+        s.core.relay_round(|p| {
+            // Only the root's sink is ever invoked: it drains and drops
+            // foreign keys (which should not exist when used per
+            // contract) while batches for its own id were claimed above
+            // or land here between foreign drains.
+            debug_assert!(is_root);
+            debug_assert_eq!(
+                p.key, me,
+                "token keyed by {} reached the root {} — key was not an ancestor",
+                p.key, me
+            );
+            if p.key == me {
+                *my_total += p.value;
             }
-            Some(parent) => {
-                let mut out = Outbox::new();
-                if let Some(p) = s.try_pop_min() {
-                    debug_assert_ne!(p.key, me, "own key claimed above");
-                    out.send(parent, StreamMsg::Item(p));
-                    Step::Continue(out)
-                } else if s.exhausted() && !s.end_sent {
-                    s.end_sent = true;
-                    out.send(parent, StreamMsg::End);
-                    Step::Halt(out)
-                } else {
-                    Step::idle()
-                }
-            }
-        }
+        })
     }
 
-    fn finish(&self, s: KsState, _ctx: &NodeCtx<'_>) -> u64 {
-        s.my_total
+    fn finish(&self, s: KsState, _ctx: &NodeCtx<'_>) -> FinishResult<u64> {
+        Ok(s.my_total)
     }
 }
 
@@ -288,7 +197,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let g = generators::erdos_renyi_connected(50, 0.08, &mut rng).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let outs = bfs_outputs(&g, &mut net);
         let vals: Vec<u64> = (0..50).map(|_| rng.gen_range(0..100)).collect();
         let inputs: Vec<(TreeInfo, u64)> = outs
@@ -316,18 +225,18 @@ mod tests {
     fn keyed_sums_deliver_to_each_ancestor() {
         // Path 0-1-2-3-4 rooted at 0: tokens keyed by various ancestors.
         let g = generators::path(5).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let outs = bfs_outputs(&g, &mut net);
         // Node 4 holds tokens for ancestors 0, 2 and itself; node 3 for 1;
         // node 2 for 2 (itself); node 1 for 0.
-        let tokens: Vec<Vec<(u32, u64)>> = vec![
+        let tokens: Vec<Vec<(u64, u64)>> = vec![
             vec![],
             vec![(0, 5)],
             vec![(2, 7)],
             vec![(1, 11)],
             vec![(0, 1), (2, 2), (4, 3)],
         ];
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = outs
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = outs
             .iter()
             .zip(tokens.iter())
             .map(|(o, t)| (o.tree.clone(), t.clone()))
@@ -344,7 +253,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let g = generators::erdos_renyi_connected(40, 0.1, &mut rng).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let outs = bfs_outputs(&g, &mut net);
         let parent_ids: Vec<Option<NodeId>> = outs
             .iter()
@@ -358,18 +267,18 @@ mod tests {
         let rt = trees::RootedTree::from_parents(NodeId::new(0), &parent_ids).unwrap();
         // Tokens: every node emits a token for each of up to 3 random
         // ancestors (including itself).
-        let mut tokens: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 40];
+        let mut tokens: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 40];
         let mut want = vec![0u64; 40];
         for v in 0..40u32 {
             let ancs: Vec<NodeId> = rt.ancestors(NodeId::new(v)).collect();
             for _ in 0..rng.gen_range(0..4) {
                 let a = ancs[rng.gen_range(0..ancs.len())];
                 let w = rng.gen_range(1..50u64);
-                tokens[v as usize].push((a.raw(), w));
+                tokens[v as usize].push((a.raw() as u64, w));
                 want[a.index()] += w;
             }
         }
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = outs
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = outs
             .iter()
             .zip(tokens.iter())
             .map(|(o, t)| (o.tree.clone(), t.clone()))
@@ -385,7 +294,7 @@ mod tests {
     fn forest_variant_works_per_fragment() {
         // Path of 6 split into {0,1,2} and {3,4,5}.
         let g = generators::path(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
             parent: parent.map(Port),
             children: children.into_iter().map(Port).collect(),
@@ -399,7 +308,7 @@ mod tests {
             t(Some(0), vec![1], 1),
             t(Some(0), vec![], 2),
         ];
-        let tokens: Vec<Vec<(u32, u64)>> = vec![
+        let tokens: Vec<Vec<(u64, u64)>> = vec![
             vec![(0, 1)],
             vec![(0, 2)],
             vec![(1, 4), (0, 8)],
@@ -407,7 +316,7 @@ mod tests {
             vec![(3, 32)],
             vec![(4, 64), (5, 128)],
         ];
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = trees.into_iter().zip(tokens).collect();
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = trees.into_iter().zip(tokens).collect();
         let got = net
             .run("ks_forest", &KeyedSubtreeSum::new(), inputs)
             .unwrap()

@@ -5,7 +5,7 @@
 //! inter-fragment edges) and of the root-centralized Borůvka iterations of
 //! the MST's second phase.
 
-use crate::algorithm::{Algorithm, Outbox, Step};
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::Message;
 use crate::node::{NodeCtx, Port, TreeInfo};
 use crate::primitives::broadcast::StreamMsg;
@@ -109,8 +109,8 @@ impl<T: Message> Algorithm for UpcastItems<T> {
         }
     }
 
-    fn finish(&self, s: UpState<T>, _ctx: &NodeCtx<'_>) -> Option<Vec<T>> {
-        s.tree.parent.is_none().then_some(s.collected)
+    fn finish(&self, s: UpState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Option<Vec<T>>> {
+        Ok(s.tree.parent.is_none().then_some(s.collected))
     }
 }
 
@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn collects_everything_at_root() {
         let g = generators::grid2d(5, 5).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         // Each node contributes its id twice.
         let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
@@ -156,7 +156,7 @@ mod tests {
         // Deep path: k items from the far end must pipeline, not serialize.
         let n = 30;
         let g = generators::path(n).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let k = 10;
         let inputs: Vec<(TreeInfo, Vec<u64>)> = trees
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn empty_inputs_still_terminate() {
         let g = generators::star(12).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let trees = bfs_trees(&g, &mut net);
         let inputs: Vec<(TreeInfo, Vec<u64>)> = trees.into_iter().map(|t| (t, vec![])).collect();
         let out = net
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn forest_upcast_collects_per_fragment() {
         let g = generators::path(6).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         let t = |parent: Option<u32>, children: Vec<u32>, depth: u32| TreeInfo {
             parent: parent.map(Port),
             children: children.into_iter().map(Port).collect(),

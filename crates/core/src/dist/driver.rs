@@ -83,10 +83,11 @@ pub struct DistMinCutResult {
 /// # Errors
 ///
 /// [`MinCutError::TooSmall`] for `n < 2`, [`MinCutError::Disconnected`]
-/// for disconnected inputs, [`MinCutError::InvalidConfig`] for `n`
-/// beyond the id-packing range, and [`MinCutError::Congest`] when the
+/// for disconnected inputs, and [`MinCutError::Congest`] when the
 /// simulated network rejects the run (bandwidth violation in strict
-/// mode, round cap).
+/// mode, round cap). There is no upper bound on `n`: pair aggregation
+/// keys are `u64`-wide, so every `n` addressable by `u32` node ids is
+/// supported.
 pub fn exact_mincut(
     g: &WeightedGraph,
     config: &ExactConfig,
@@ -233,7 +234,7 @@ impl<'g> Pipeline<'g> {
         pack_edge: &[u64],
     ) -> Result<Self, MinCutError> {
         let n = g.node_count();
-        let mut net = Network::new(g, network);
+        let mut net = Network::new(g, network).map_err(MinCutError::from)?;
         let bfs = net.run("leader_bfs", &LeaderBfs::new(), vec![(); n])?;
         let leader = bfs.outputs[0].leader;
         let mems = g
@@ -811,7 +812,7 @@ impl<'g> Pipeline<'g> {
             chain[pos - 1]
         };
         let mut tokens: Vec<Vec<Token>> = vec![Vec::new(); n];
-        let mut pairs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut pairs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
         for v in 0..n {
             let m = &self.mems[v];
             let iv = m.iv.as_ref().expect("intervals set");
@@ -859,7 +860,10 @@ impl<'g> Pipeline<'g> {
                         let a1 = tf_parent[&child_below(my_chain, fstar)].a;
                         let a2 = tf_parent[&child_below(their_chain, fstar)].a;
                         let (lo, hi) = (a1.min(a2), a1.max(a2));
-                        pairs[v].push((lo * n as u32 + hi, w));
+                        // Pack the attachment pair into one u64 key:
+                        // `lo·n + hi < n²` costs 2⌈log₂ n⌉ key bits, so
+                        // any n addressable by u32 node ids fits.
+                        pairs[v].push((lo as u64 * n as u64 + hi as u64, w));
                     }
                 }
                 // fstar == other.frag: the other endpoint originates.
@@ -867,7 +871,7 @@ impl<'g> Pipeline<'g> {
             self.mems[v].rho += add_rho;
         }
         // s4a/s4b: merging-node contributions through the leader.
-        let inputs: Vec<(TreeInfo, Vec<(u32, u64)>)> = (0..n)
+        let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = (0..n)
             .map(|v| (self.mems[v].bfs.clone(), std::mem::take(&mut pairs[v])))
             .collect();
         let out = self.net.run("s4a", &GroupedSum::new(), inputs)?;
@@ -877,8 +881,8 @@ impl<'g> Pipeline<'g> {
         let items: Vec<PairItem> = pair_totals
             .into_iter()
             .map(|(key, w)| PairItem {
-                a1: key / n as u32,
-                a2: key % n as u32,
+                a1: (key / n as u64) as u32,
+                a2: (key % n as u64) as u32,
                 w,
             })
             .collect();
@@ -1150,11 +1154,10 @@ pub(crate) fn run_pipeline(
     if n < 2 {
         return Err(MinCutError::TooSmall { nodes: n });
     }
-    if n > u16::MAX as usize {
-        return Err(MinCutError::InvalidConfig {
-            reason: format!("n = {n} exceeds the 16-bit id packing of the pair aggregation"),
-        });
-    }
+    // No upper bound on n here: the case-2 pair aggregation packs
+    // attachment pairs into u64 stream keys (2⌈log₂ n⌉ bits), so every
+    // n addressable by u32 node ids is in range for exact and approx
+    // drivers alike.
     if !graphs::traversal::is_connected(g) {
         return Err(MinCutError::Disconnected);
     }

@@ -31,7 +31,7 @@
 use crate::dist::packing::Cand;
 use congest::message::TAG_BITS;
 use congest::primitives::grouped_min::KeyedItem;
-use congest::{value_bits, Algorithm, Message, NodeCtx, Outbox, Port, Step};
+use congest::{value_bits, Algorithm, FinishResult, Message, NodeCtx, Outbox, Port, Step};
 
 /// Configuration of the distributed MST stage.
 #[derive(Clone, Debug, PartialEq)]
@@ -389,8 +389,8 @@ impl Algorithm for FragHook {
         Step::Continue(out)
     }
 
-    fn finish(&self, s: HookState, _ctx: &NodeCtx<'_>) -> HookOutput {
-        s.out
+    fn finish(&self, s: HookState, _ctx: &NodeCtx<'_>) -> FinishResult<HookOutput> {
+        Ok(s.out)
     }
 }
 
@@ -436,8 +436,8 @@ impl Message for BorCand {
 }
 
 impl KeyedItem for BorCand {
-    fn key(&self) -> u32 {
-        self.comp
+    fn key(&self) -> u64 {
+        self.comp as u64
     }
     fn better_than(&self, other: &Self) -> bool {
         self.cand.key() < other.cand.key()

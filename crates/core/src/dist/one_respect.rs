@@ -41,7 +41,10 @@
 //! E7 measures the depth-independence explicitly.
 
 use congest::message::TAG_BITS;
-use congest::{value_bits, Algorithm, Message, NodeCtx, Outbox, Port, Step, TreeInfo};
+use congest::{
+    value_bits, Algorithm, FinishResult, Message, NodeCtx, Outbox, Port, ProtocolViolation, Step,
+    TreeInfo,
+};
 use std::collections::VecDeque;
 
 // ---------------------------------------------------------------------------
@@ -136,8 +139,8 @@ impl Algorithm for FragReroot {
         Step::idle()
     }
 
-    fn finish(&self, s: RerootState, _ctx: &NodeCtx<'_>) -> Option<Port> {
-        s.parent
+    fn finish(&self, s: RerootState, _ctx: &NodeCtx<'_>) -> FinishResult<Option<Port>> {
+        Ok(s.parent)
     }
 }
 
@@ -202,9 +205,13 @@ impl Algorithm for SizesUp {
         }
     }
 
-    fn finish(&self, mut s: SizesState, _ctx: &NodeCtx<'_>) -> (u64, Vec<(Port, u64)>) {
+    fn finish(
+        &self,
+        mut s: SizesState,
+        _ctx: &NodeCtx<'_>,
+    ) -> FinishResult<(u64, Vec<(Port, u64)>)> {
         s.child_sizes.sort_unstable_by_key(|&(p, _)| p);
-        (s.acc, s.child_sizes)
+        Ok((s.acc, s.child_sizes))
     }
 }
 
@@ -314,12 +321,9 @@ impl Algorithm for IntervalDown {
         Step::idle()
     }
 
-    fn finish(&self, s: IntervalState, ctx: &NodeCtx<'_>) -> Intervals {
-        s.iv.unwrap_or_else(|| {
-            panic!(
-                "node {} never received its interval (inconsistent fragment forest?)",
-                ctx.node
-            )
+    fn finish(&self, s: IntervalState, _ctx: &NodeCtx<'_>) -> FinishResult<Intervals> {
+        s.iv.ok_or_else(|| {
+            ProtocolViolation::new("never received its interval (inconsistent fragment forest?)")
         })
     }
 }
@@ -503,8 +507,8 @@ impl Algorithm for TokensUp {
         }
     }
 
-    fn finish(&self, s: TokensState, _ctx: &NodeCtx<'_>) -> u64 {
-        s.rho
+    fn finish(&self, s: TokensState, _ctx: &NodeCtx<'_>) -> FinishResult<u64> {
+        Ok(s.rho)
     }
 }
 
@@ -624,12 +628,9 @@ impl Algorithm for SideFlood {
         Step::idle()
     }
 
-    fn finish(&self, s: SideState, ctx: &NodeCtx<'_>) -> bool {
-        s.inside.unwrap_or_else(|| {
-            panic!(
-                "node {} never received the side wave (snapshot tree inconsistent?)",
-                ctx.node
-            )
+    fn finish(&self, s: SideState, _ctx: &NodeCtx<'_>) -> FinishResult<bool> {
+        s.inside.ok_or_else(|| {
+            ProtocolViolation::new("never received the side wave (snapshot tree inconsistent?)")
         })
     }
 }
@@ -643,7 +644,7 @@ mod tests {
     /// A path 0-1-2-3-4-5 as one fragment rooted at node 2 (ports on a
     /// path: interior nodes have port 0 = left, port 1 = right).
     fn path6_net(g: &graphs::WeightedGraph) -> Network<'_> {
-        Network::new(g, NetworkConfig::default())
+        Network::new(g, NetworkConfig::default()).unwrap()
     }
 
     fn t(parent: Option<u32>, children: Vec<u32>) -> TreeInfo {
@@ -754,7 +755,7 @@ mod tests {
     #[test]
     fn reroot_flood_orients_toward_the_initiator() {
         let g = generators::path(5).unwrap();
-        let mut net = Network::new(&g, NetworkConfig::default());
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
         // One fragment spanning the path; initiator = node 3.
         let inputs: Vec<RerootInput> = (0..5)
             .map(|v| RerootInput {

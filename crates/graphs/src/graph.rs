@@ -396,6 +396,48 @@ impl WeightedGraph {
         b.extend_edges(edges);
         b.build()
     }
+
+    /// Assembles a graph from raw CSR parts **without validation** — the
+    /// adjacency is *not* checked for symmetry or consistency with
+    /// `endpoints`. This deliberately permits malformed graphs so that
+    /// consumers (e.g. the CONGEST engine's symmetry check) can test
+    /// their defenses against them; every validated path goes through
+    /// [`GraphBuilder::build`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        node_count: usize,
+        endpoints: Vec<(NodeId, NodeId)>,
+        weights: Vec<Weight>,
+        offsets: Vec<u32>,
+        adj: Vec<AdjEntry>,
+    ) -> Self {
+        assert_eq!(
+            offsets.len(),
+            node_count + 1,
+            "offsets must cover all nodes"
+        );
+        assert_eq!(
+            *offsets.last().expect("offsets non-empty") as usize,
+            adj.len(),
+            "offsets must cover the adjacency"
+        );
+        let weighted_degrees = (0..node_count)
+            .map(|v| {
+                adj[offsets[v] as usize..offsets[v + 1] as usize]
+                    .iter()
+                    .map(|a| a.weight)
+                    .sum()
+            })
+            .collect();
+        WeightedGraph {
+            node_count,
+            endpoints,
+            weights,
+            offsets,
+            adj,
+            weighted_degrees,
+        }
+    }
 }
 
 #[cfg(test)]
