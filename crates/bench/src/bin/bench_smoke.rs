@@ -1,9 +1,18 @@
 //! CI smoke benchmark: the round/wall-time trajectory of the exact
-//! pipeline on two instance families at two sizes each, emitted as
+//! pipeline on two instance families at two sizes each — now crossed
+//! with the round executor (serial vs parallel) — emitted as
 //! `BENCH_rounds.json` so the perf history of the repository stops being
-//! empty. Runs in seconds — this is a trend probe, not a full E1–E10
-//! evaluation (`run_all` remains that).
+//! empty. Rounds, messages, and cut values are executor-independent by
+//! construction (the parity suite asserts it); the per-executor rows
+//! exist to track *wall time*, which is not.
+//!
+//! Runs in seconds — this is a trend probe, not a full E1–E10 evaluation
+//! (`run_all` remains that). Pass `--large` to append the 70602-node
+//! `large_n` instance (the 3D torus + chords of `tests/large_n.rs`) in
+//! both executor flavors; the release-mode CI job does, which is what
+//! regression-guards the slot-arena/parallel speedup.
 
+use congest::ExecutorKind;
 use graphs::generators;
 use mincut::dist::driver::{exact_mincut, ExactConfig};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
@@ -12,6 +21,8 @@ use std::time::Instant;
 
 struct Sample {
     instance: String,
+    executor: &'static str,
+    threads: usize,
     n: usize,
     rounds: u64,
     messages: u64,
@@ -19,20 +30,34 @@ struct Sample {
     wall_ms: f64,
 }
 
-fn run(instance: &str, g: &graphs::WeightedGraph) -> Sample {
-    // Three packed trees: deterministic, fast, and enough to land the
-    // planted cut on both smoke families (clique pairs need ≥ 2).
+/// The executor grid every instance is measured under.
+const EXECUTORS: [(&str, ExecutorKind); 2] = [
+    ("serial", ExecutorKind::Serial),
+    ("parallel", ExecutorKind::Parallel { threads: 4 }),
+];
+
+fn run(
+    instance: &str,
+    g: &graphs::WeightedGraph,
+    trees: usize,
+    executor: (&'static str, ExecutorKind),
+) -> Sample {
+    // Fixed tree counts keep runs deterministic and fast; three trees is
+    // enough to land the planted cut on both smoke families.
     let cfg = ExactConfig {
         packing: PackingConfig {
-            size: PackingSize::Fixed(3),
-            max_trees: 3,
+            size: PackingSize::Fixed(trees),
+            max_trees: trees,
         },
         ..Default::default()
-    };
+    }
+    .with_executor(executor.1);
     let t = Instant::now();
     let r = exact_mincut(g, &cfg).expect("smoke instance must run");
     Sample {
         instance: instance.to_string(),
+        executor: executor.0,
+        threads: executor.1.effective_threads(),
         n: g.node_count(),
         rounds: r.rounds,
         messages: r.messages,
@@ -41,15 +66,31 @@ fn run(instance: &str, g: &graphs::WeightedGraph) -> Sample {
     }
 }
 
+/// The `tests/large_n.rs` instance: the shared
+/// `generators::torus3d_with_chords(42, 41, 41, 300)` builder (λ = 6),
+/// so the benchmark row measures exactly the workload the test gates.
+fn large_n_graph() -> graphs::WeightedGraph {
+    generators::torus3d_with_chords(42, 41, 41, 300).expect("valid torus construction")
+}
+
 fn main() {
+    let large = std::env::args().any(|a| a == "--large");
     let mut samples = Vec::new();
-    for side in [12usize, 24] {
-        let g = generators::torus2d(side, side).unwrap();
-        samples.push(run(&format!("torus{side}x{side}"), &g));
+    for executor in EXECUTORS {
+        for side in [12usize, 24] {
+            let g = generators::torus2d(side, side).unwrap();
+            samples.push(run(&format!("torus{side}x{side}"), &g, 3, executor));
+        }
+        for h in [16usize, 32] {
+            let g = generators::clique_pair(h, 3).unwrap().graph;
+            samples.push(run(&format!("clique_pair{h}"), &g, 3, executor));
+        }
     }
-    for h in [16usize, 32] {
-        let g = generators::clique_pair(h, 3).unwrap().graph;
-        samples.push(run(&format!("clique_pair{h}"), &g));
+    if large {
+        let g = large_n_graph();
+        for executor in EXECUTORS {
+            samples.push(run("large_n_torus3d", &g, 1, executor));
+        }
     }
 
     // Hand-rolled JSON (the workspace's serde is an offline stub).
@@ -58,8 +99,8 @@ fn main() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         writeln!(
             json,
-            "    {{\"instance\": \"{}\", \"n\": {}, \"rounds\": {}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
-            s.instance, s.n, s.rounds, s.messages, s.cut, s.wall_ms
+            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
+            s.instance, s.executor, s.threads, s.n, s.rounds, s.messages, s.cut, s.wall_ms
         )
         .expect("write to string");
     }

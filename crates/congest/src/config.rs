@@ -1,4 +1,7 @@
-//! Network configuration: bandwidth budget and enforcement policy.
+//! Network configuration: bandwidth budget, enforcement policy, and the
+//! round executor.
+
+use crate::executor::ExecutorKind;
 
 /// Configuration of a simulated CONGEST network.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,16 +17,20 @@ pub struct NetworkConfig {
     /// Safety valve: a phase running longer than this many rounds is an
     /// error (`0` = derive a generous default from `n` and `m`).
     pub max_rounds: u64,
+    /// Which round executor drives the phases. Outputs, round counts, and
+    /// metrics are identical across executors; only wall time differs.
+    pub executor: ExecutorKind,
 }
 
 impl Default for NetworkConfig {
     /// β = 8 (room for one tag + two ids + one value per message),
-    /// strict enforcement, auto round cap.
+    /// strict enforcement, auto round cap, serial executor.
     fn default() -> Self {
         NetworkConfig {
             bandwidth_factor: 8,
             strict: true,
             max_rounds: 0,
+            executor: ExecutorKind::Serial,
         }
     }
 }
@@ -35,6 +42,11 @@ impl NetworkConfig {
             bandwidth_factor: factor,
             ..Self::default()
         }
+    }
+
+    /// This config with the given round executor.
+    pub fn with_executor(self, executor: ExecutorKind) -> Self {
+        NetworkConfig { executor, ..self }
     }
 
     /// The per-edge budget in bits for an `n`-node network:

@@ -1,12 +1,18 @@
 //! The synchronous round engine.
+//!
+//! [`Network`] owns the topology (adjacency views, port routing, and the
+//! CSR slot-arena geometry shared by every phase) and the session metrics
+//! ledger; the actual round loop lives behind the
+//! [`RoundExecutor`](crate::executor::RoundExecutor) seam and is selected
+//! per network by [`NetworkConfig::executor`].
 
-use crate::algorithm::{Algorithm, Step};
+use crate::algorithm::Algorithm;
 use crate::config::NetworkConfig;
 use crate::error::CongestError;
-use crate::message::Message;
+use crate::executor::{ExecutorKind, ParallelExecutor, PhaseSpec, RoundExecutor, SerialExecutor};
 use crate::metrics::{MetricsLedger, PhaseMetrics};
-use crate::node::{NeighborInfo, NodeCtx, Port};
-use graphs::{NodeId, WeightedGraph};
+use crate::node::NeighborInfo;
+use graphs::WeightedGraph;
 
 /// The result of running one phase.
 #[derive(Clone, Debug)]
@@ -30,6 +36,15 @@ pub struct Network<'g> {
     neighbors: Vec<Vec<NeighborInfo>>,
     /// `routing[v][p]` = (destination node, destination port) of `v`'s port `p`.
     routing: Vec<Vec<(u32, u32)>>,
+    /// CSR offsets of the slot arena: node `v`'s inbox slots (one per
+    /// port) are `slot_base[v]..slot_base[v + 1]`; the total slot count
+    /// (`slot_base[n]`) is the number of directed edges.
+    slot_base: Vec<usize>,
+    /// `write_slot[slot_base[v] + p]` = the destination slot of the
+    /// directed edge leaving `v` through port `p` — precomputed so
+    /// routing a message is one indexed store.
+    write_slot: Vec<usize>,
+    max_degree: usize,
     bandwidth_bits: usize,
 }
 
@@ -73,6 +88,23 @@ impl<'g> Network<'g> {
             }
             routing.push(row);
         }
+        // Slot-arena geometry: one slot per directed edge, grouped by
+        // destination, so a phase preallocates its whole delivery
+        // structure once and rounds allocate nothing.
+        let mut slot_base = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        slot_base.push(0);
+        for row in &neighbors {
+            acc += row.len();
+            slot_base.push(acc);
+        }
+        let mut write_slot = vec![0usize; acc];
+        for v in 0..n {
+            for (p, &(dest, dest_port)) in routing[v].iter().enumerate() {
+                write_slot[slot_base[v] + p] = slot_base[dest as usize] + dest_port as usize;
+            }
+        }
+        let max_degree = neighbors.iter().map(Vec::len).max().unwrap_or(0);
         let bandwidth_bits = config.bandwidth_bits(n);
         Ok(Network {
             graph,
@@ -80,6 +112,9 @@ impl<'g> Network<'g> {
             ledger: MetricsLedger::new(),
             neighbors,
             routing,
+            slot_base,
+            write_slot,
+            max_degree,
             bandwidth_bits,
         })
     }
@@ -110,27 +145,48 @@ impl<'g> Network<'g> {
         self.bandwidth_bits
     }
 
-    fn ctx(&self, v: usize, round: u64) -> NodeCtx<'_> {
-        NodeCtx {
-            node: NodeId::from_index(v),
-            n: self.graph.node_count(),
-            bandwidth_bits: self.bandwidth_bits,
-            round,
-            neighbors: &self.neighbors[v],
-        }
-    }
-
     /// Runs one phase to completion: boots every node with its input,
     /// executes synchronous rounds until every node has halted, and returns
     /// per-node outputs plus metrics.
+    ///
+    /// The rounds are driven by the executor named in
+    /// [`NetworkConfig::executor`]; outputs and metrics are identical
+    /// whichever executor runs them.
     ///
     /// # Errors
     ///
     /// Returns [`CongestError`] on wrong input count, invalid or double
     /// sends, bandwidth violations (strict mode), messages to halted nodes
-    /// (strict mode), or when the round cap is exceeded.
+    /// (strict mode), or when the round cap is exceeded. When several
+    /// nodes err in the same round, the lowest-id node's error is
+    /// returned, under every executor; the rest of that round still
+    /// executes (errors are collected, not short-circuited — that is
+    /// what makes error selection schedule-independent).
     pub fn run<A: Algorithm>(
         &mut self,
+        name: &str,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<RunOutcome<A::Output>, CongestError> {
+        match self.config.executor {
+            ExecutorKind::Serial => self.run_with(&SerialExecutor, name, algo, inputs),
+            ExecutorKind::Parallel { threads } => {
+                self.run_with(&ParallelExecutor::with_threads(threads), name, algo, inputs)
+            }
+        }
+    }
+
+    /// Like [`Network::run`], but drives the phase with an explicit
+    /// [`RoundExecutor`] instead of the configured one — the plug-in
+    /// point for custom executors (the planned α-synchronizer /
+    /// fault-injection layer) without any engine changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::run`].
+    pub fn run_with<E: RoundExecutor, A: Algorithm>(
+        &mut self,
+        executor: &E,
         name: &str,
         algo: &A,
         inputs: Vec<A::Input>,
@@ -143,181 +199,47 @@ impl<'g> Network<'g> {
                 want: n,
             });
         }
-        let cap = self.config.effective_max_rounds(n);
-        let mut metrics = PhaseMetrics {
-            name: name.to_string(),
-            ..Default::default()
+        let spec = PhaseSpec {
+            name,
+            n,
+            neighbors: &self.neighbors,
+            routing: &self.routing,
+            slot_base: &self.slot_base,
+            write_slot: &self.write_slot,
+            bandwidth_bits: self.bandwidth_bits,
+            strict: self.config.strict,
+            cap: self.config.effective_max_rounds(n),
+            max_degree: self.max_degree,
         };
-
-        let mut states: Vec<Option<A::State>> = Vec::with_capacity(n);
-        let mut halted = vec![false; n];
-        // Messages in flight, grouped by destination: (dest_port, msg),
-        // collected per destination node and sorted by port before delivery.
-        let mut inflight: Vec<Vec<(Port, A::Msg)>> = vec![Vec::new(); n];
-        let mut live = n;
-
-        // Boot: round 0.
-        for (v, input) in inputs.into_iter().enumerate() {
-            let ctx = self.ctx(v, 0);
-            let (state, outbox) = algo.boot(&ctx, input);
-            states.push(Some(state));
-            self.route(name, v, outbox.msgs, 0, &mut inflight, &mut metrics)?;
+        let t = trace_enabled().then(std::time::Instant::now);
+        let (outputs, metrics) = executor.run_phase(&spec, algo, inputs)?;
+        if let Some(t) = t {
+            eprintln!(
+                "congest-trace: {name} rounds={} msgs={} wall_ms={:.2}",
+                metrics.rounds,
+                metrics.messages,
+                t.elapsed().as_secs_f64() * 1e3
+            );
         }
-
-        let mut round: u64 = 0;
-        loop {
-            let in_flight_count: usize = inflight.iter().map(|q| q.len()).sum();
-            if live == 0 {
-                if in_flight_count > 0 {
-                    // Someone sent to a halted node (everyone is halted).
-                    let dest = inflight
-                        .iter()
-                        .position(|q| !q.is_empty())
-                        .expect("non-empty queue exists");
-                    if self.config.strict {
-                        return Err(CongestError::MessageToHalted {
-                            phase: name.to_string(),
-                            node: NodeId::from_index(dest),
-                            round,
-                        });
-                    }
-                }
-                break;
-            }
-            if in_flight_count == 0 && round > 0 {
-                // No messages and nobody halted this instant: nodes may still
-                // be counting rounds internally, so keep stepping — but only
-                // live nodes exist, so fall through to stepping.
-            }
-            round += 1;
-            if round > cap {
-                return Err(CongestError::MaxRoundsExceeded {
-                    phase: name.to_string(),
-                    cap,
-                });
-            }
-
-            // Deliver: move inflight into per-node inboxes.
-            let mut next_inflight: Vec<Vec<(Port, A::Msg)>> = vec![Vec::new(); n];
-            for v in 0..n {
-                let mut inbox = std::mem::take(&mut inflight[v]);
-                if !inbox.is_empty() && halted[v] {
-                    if self.config.strict {
-                        return Err(CongestError::MessageToHalted {
-                            phase: name.to_string(),
-                            node: NodeId::from_index(v),
-                            round,
-                        });
-                    }
-                    inbox.clear();
-                }
-                if halted[v] {
-                    continue;
-                }
-                inbox.sort_by_key(|(p, _)| *p);
-                let ctx = self.ctx(v, round);
-                let state = states[v].as_mut().expect("live node has state");
-                let step = algo.round(state, &ctx, &inbox);
-                let outbox = match step {
-                    Step::Continue(o) => o,
-                    Step::Halt(o) => {
-                        halted[v] = true;
-                        live -= 1;
-                        o
-                    }
-                };
-                self.route(
-                    name,
-                    v,
-                    outbox.msgs,
-                    round,
-                    &mut next_inflight,
-                    &mut metrics,
-                )?;
-            }
-            inflight = next_inflight;
-        }
-        metrics.rounds = round;
-        metrics.max_edge_load_bits = metrics.max_message_bits;
-
-        let outputs: Vec<A::Output> = states
-            .into_iter()
-            .enumerate()
-            .map(|(v, s)| {
-                let ctx = self.ctx(v, round);
-                algo.finish(s.expect("state present"), &ctx)
-                    .map_err(|violation| CongestError::Protocol {
-                        phase: name.to_string(),
-                        node: NodeId::from_index(v),
-                        reason: violation.reason,
-                    })
-            })
-            .collect::<Result<_, _>>()?;
         self.ledger.push(metrics.clone());
         Ok(RunOutcome { outputs, metrics })
     }
+}
 
-    /// Validates and routes one node's outbox into the in-flight queues.
-    fn route<M: Message>(
-        &self,
-        phase: &str,
-        v: usize,
-        msgs: Vec<(Port, M)>,
-        round: u64,
-        inflight: &mut [Vec<(Port, M)>],
-        metrics: &mut PhaseMetrics,
-    ) -> Result<(), CongestError> {
-        if msgs.is_empty() {
-            return Ok(());
-        }
-        let degree = self.neighbors[v].len();
-        let mut used = vec![false; degree];
-        for (port, msg) in msgs {
-            if port.index() >= degree {
-                return Err(CongestError::InvalidPort {
-                    phase: phase.to_string(),
-                    node: NodeId::from_index(v),
-                    port,
-                    degree,
-                });
-            }
-            if used[port.index()] {
-                return Err(CongestError::DoubleSend {
-                    phase: phase.to_string(),
-                    node: NodeId::from_index(v),
-                    port,
-                    round,
-                });
-            }
-            used[port.index()] = true;
-            let bits = msg.bit_len();
-            if bits > self.bandwidth_bits {
-                if self.config.strict {
-                    return Err(CongestError::BandwidthExceeded {
-                        phase: phase.to_string(),
-                        node: NodeId::from_index(v),
-                        port,
-                        bits,
-                        budget: self.bandwidth_bits,
-                        round,
-                    });
-                }
-                metrics.violations += 1;
-            }
-            metrics.messages += 1;
-            metrics.bits += bits as u64;
-            metrics.max_message_bits = metrics.max_message_bits.max(bits);
-            let (dest, dest_port) = self.routing[v][port.index()];
-            inflight[dest as usize].push((Port(dest_port), msg));
-        }
-        Ok(())
-    }
+/// Whether `CONGEST_TRACE` is set: per-phase wall-time lines on stderr,
+/// the poor-man's profiler for offline containers.
+fn trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("CONGEST_TRACE").is_some())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::{FinishResult, Outbox};
+    use crate::algorithm::{FinishResult, Outbox, Step};
+    use crate::message::Message;
+    use crate::node::{NodeCtx, Port};
+    use graphs::NodeId;
 
     /// Every node floods its id for `ttl` rounds and records the minimum it
     /// has seen — a toy algorithm exercising the engine paths.
@@ -387,6 +309,85 @@ mod tests {
         assert_eq!(out.metrics.rounds, 12);
         assert!(out.metrics.messages > 0);
         assert_eq!(net.ledger().total_rounds(), 12);
+    }
+
+    /// The parallel executor produces the same outputs and metrics as the
+    /// serial one, at every thread count (including more threads than
+    /// chunks). The broader randomized suite lives in
+    /// `tests/executor_parity.rs`.
+    #[test]
+    fn parallel_executor_is_bit_identical_to_serial() {
+        let g = graphs::generators::grid2d(5, 7).unwrap();
+        let n = g.node_count();
+        let mut serial = Network::new(&g, NetworkConfig::default()).unwrap();
+        let want = serial
+            .run("min_flood", &MinFlood { ttl: 15 }, vec![(); n])
+            .unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let cfg = NetworkConfig {
+                executor: ExecutorKind::Parallel { threads },
+                ..Default::default()
+            };
+            let mut par = Network::new(&g, cfg).unwrap();
+            let got = par
+                .run("min_flood", &MinFlood { ttl: 15 }, vec![(); n])
+                .unwrap();
+            assert_eq!(got.outputs, want.outputs, "threads = {threads}");
+            assert_eq!(got.metrics, want.metrics, "threads = {threads}");
+        }
+    }
+
+    /// Sends a `ttl`-round drumbeat of 7s (3 bits each) from node 0 to
+    /// node 1 — one edge carries cumulative load while no single message
+    /// grows.
+    struct Drummer {
+        ttl: u64,
+    }
+
+    impl Algorithm for Drummer {
+        type Input = ();
+        type State = ();
+        type Msg = u32;
+        type Output = ();
+
+        fn boot(&self, ctx: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+            let mut o = Outbox::new();
+            if ctx.node.raw() == 0 {
+                o.send(Port(0), 7);
+            }
+            ((), o)
+        }
+
+        fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+            if ctx.round >= self.ttl {
+                return Step::halt();
+            }
+            let mut o = Outbox::new();
+            if ctx.node.raw() == 0 {
+                o.send(Port(0), 7);
+            }
+            Step::Continue(o)
+        }
+
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
+    }
+
+    /// `max_edge_load_bits` is the cumulative per-(edge, direction) load
+    /// across the phase, not a copy of `max_message_bits`: four 3-bit
+    /// messages on one directed edge load it with 12 bits.
+    #[test]
+    fn max_edge_load_accumulates_across_rounds() {
+        let g = graphs::generators::path(2).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        // Boot + rounds 1..3 send; messages sent in round ttl would reach a
+        // halted node, so the drumbeat stops one round earlier.
+        let out = net.run("drum", &Drummer { ttl: 4 }, vec![(); 2]).unwrap();
+        assert_eq!(out.metrics.max_message_bits, 3);
+        assert_eq!(out.metrics.messages, 4);
+        assert_eq!(out.metrics.max_edge_load_bits, 4 * 3);
+        assert_eq!(net.ledger().max_edge_load_bits(), 12);
     }
 
     /// A message that claims to be enormous.

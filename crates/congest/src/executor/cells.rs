@@ -1,0 +1,139 @@
+//! Interior-mutability primitives for the round executors.
+//!
+//! This is the **only** module in the crate that uses `unsafe` (the crate
+//! root is `#![deny(unsafe_code)]`, and this module plus
+//! [`super::sweep`] opt back in). Everything here is `pub(crate)` and
+//! sound only under the executors' disjointness discipline:
+//!
+//! * **Node cells** (`SyncCells<NodeCell<_>>`, and the boot-input cells):
+//!   node `v` is processed by exactly one worker per sweep — workers claim
+//!   *disjoint* contiguous chunks from a monotone atomic cursor — so
+//!   `get_mut(v)` is exclusive for the duration of the sweep.
+//! * **Message slots** (`SlotArena::slot_mut`): a slot names one directed
+//!   edge `(u → v)`, grouped CSR-style by destination. Within one round a
+//!   slot is written only through `write_slot` of its unique sender `u`
+//!   (the engine's `DoubleSend` rule: at most one message per (edge,
+//!   direction) per round) and never read, because reads go to the *other*
+//!   arena of the double buffer; in the next round it is read/cleared only
+//!   by the unique worker that owns destination `v`.
+//! * **Cross-round ordering**: the serial executor is single-threaded; the
+//!   parallel executor joins all workers (`std::thread::scope`) between
+//!   sweeps, which establishes happens-before between a round's writes and
+//!   the next round's reads.
+//!
+//! Per-destination pending counts are genuinely contended (many senders,
+//! one destination) and therefore atomic, not `UnsafeCell`.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A slice of values individually mutable through a shared reference,
+/// provided callers access disjoint indices (see the module docs).
+pub(crate) struct SyncCells<T> {
+    cells: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: `SyncCells` hands out `&mut T` across threads only via the
+// `unsafe` accessor below, whose contract requires exclusive per-index
+// access; sending the `T`s themselves between threads requires `T: Send`.
+unsafe impl<T: Send> Sync for SyncCells<T> {}
+
+impl<T> SyncCells<T> {
+    /// Wraps `values` into individually-mutable cells.
+    pub(crate) fn new(values: Vec<T>) -> Self {
+        SyncCells {
+            cells: values.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Exclusive access to cell `i` through a shared reference.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other reference (shared or
+    /// exclusive) to cell `i` exists for the lifetime of the returned
+    /// borrow — in the executors, that index `i` lies in a chunk claimed
+    /// by the calling worker (node cells), or that the caller is the
+    /// unique sender/receiver of the directed edge `i` names (slots).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.cells[i].get()
+    }
+
+    /// Shared iteration when the caller holds `&mut self` (no concurrent
+    /// workers exist) — used for end-of-phase reductions.
+    pub(crate) fn iter_exclusive(&mut self) -> impl Iterator<Item = &T> {
+        self.cells.iter_mut().map(|c| &*c.get_mut())
+    }
+
+    /// Reads cell `i` when the caller holds `&mut self` (between sweeps,
+    /// when no workers exist) — used for the live-list maintenance.
+    pub(crate) fn get_exclusive(&mut self, i: usize) -> &T {
+        self.cells[i].get_mut()
+    }
+
+    /// Unwraps the values (end of phase, single-threaded).
+    pub(crate) fn into_inner(self) -> Vec<T> {
+        self.cells.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// One half of the double-buffered message arena: a fixed slot per
+/// directed edge (CSR by destination: node `v`'s inbox occupies slots
+/// `slot_base[v]..slot_base[v + 1]`, one per port) plus a per-destination
+/// atomic count of occupied slots, so halted and idle nodes are checked
+/// in `O(1)` instead of scanning their slot range.
+pub(crate) struct SlotArena<M> {
+    slots: SyncCells<Option<M>>,
+    pending: Vec<AtomicU32>,
+}
+
+impl<M> SlotArena<M> {
+    /// An empty arena with `total_slots` message slots over `n` nodes.
+    pub(crate) fn new(total_slots: usize, n: usize) -> Self {
+        SlotArena {
+            slots: SyncCells::new((0..total_slots).map(|_| None).collect()),
+            pending: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Exclusive access to one message slot.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SyncCells::get_mut`]: the caller must be the
+    /// slot's unique writer this round (its sender, via `write_slot`) or
+    /// its unique reader (the worker owning the destination node).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slot_mut(&self, slot: usize) -> &mut Option<M> {
+        self.slots.get_mut(slot)
+    }
+
+    /// Occupied-slot count of node `v`'s inbox (relaxed: ordering is
+    /// provided by the inter-sweep join barrier).
+    pub(crate) fn pending(&self, v: usize) -> u32 {
+        self.pending[v].load(Ordering::Relaxed)
+    }
+
+    /// Notes one more occupied slot in `v`'s inbox (called by senders)
+    /// and returns the previous count, so exactly one sender — the one
+    /// that flipped 0 → 1 — registers `v` in the round's touched set.
+    pub(crate) fn add_pending(&self, v: usize) -> u32 {
+        self.pending[v].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Clears `v`'s occupied-slot count after its inbox was consumed.
+    pub(crate) fn reset_pending(&self, v: usize) {
+        self.pending[v].store(0, Ordering::Relaxed);
+    }
+
+    /// Index of the first node with a non-empty inbox (error reporting
+    /// for undeliverable messages once every node has halted).
+    pub(crate) fn first_pending(&self) -> Option<usize> {
+        self.pending
+            .iter()
+            .position(|p| p.load(Ordering::Relaxed) > 0)
+    }
+}

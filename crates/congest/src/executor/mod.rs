@@ -1,0 +1,307 @@
+//! Round executors: *how* a phase's rounds are driven over the nodes.
+//!
+//! [`crate::Network::run`] owns *what* a phase is (boot → synchronous
+//! rounds → finish, with bandwidth/protocol enforcement and metering);
+//! a [`RoundExecutor`] owns *how* each sweep over the nodes is scheduled.
+//! Two interchangeable implementations ship today, selected by
+//! [`ExecutorKind`] in [`crate::NetworkConfig`]:
+//!
+//! * [`SerialExecutor`] — one inline pass per round (the default);
+//! * [`ParallelExecutor`] — `std::thread::scope` workers claiming
+//!   contiguous node chunks from an atomic cursor.
+//!
+//! Both run the identical per-node code over the identical slot-arena
+//! delivery structures (see [`sweep`]), so outputs, round counts, and
+//! every [`PhaseMetrics`] field are **bit-identical** across executors —
+//! the executor parity suite asserts this on trees, tori, cliques, and
+//! the full min-cut pipeline.
+//!
+//! This trait is also the crate's extension seam:
+//! [`crate::Network::run_with`] accepts any `RoundExecutor`, so a future
+//! α-synchronizer or fault-injection layer is one more implementation —
+//! landing in this module, next to the sweep machinery it perturbs —
+//! without touching the engine dispatch or any algorithm. (External
+//! crates can wrap and delegate to the shipped executors; implementing
+//! a from-scratch executor requires this module's `pub(crate)` sweep
+//! internals by design.)
+
+pub(crate) mod cells;
+pub(crate) mod sweep;
+
+use crate::algorithm::Algorithm;
+use crate::error::CongestError;
+use crate::metrics::PhaseMetrics;
+use crate::node::{NeighborInfo, NodeCtx};
+use graphs::NodeId;
+use sweep::{execute_sweep, Domain, ExecMode, PhaseState, Sweep, SweepStats};
+
+/// Which round executor a [`crate::Network`] uses.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// The single-threaded executor (deterministic, zero thread overhead).
+    #[default]
+    Serial,
+    /// The deterministic parallel executor.
+    Parallel {
+        /// Worker threads; `0` means `std::thread::available_parallelism`.
+        threads: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// The parallel executor sized to the machine.
+    pub fn parallel() -> Self {
+        ExecutorKind::Parallel { threads: 0 }
+    }
+
+    /// The worker count this kind resolves to (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        match *self {
+            ExecutorKind::Serial => 1,
+            ExecutorKind::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ExecutorKind::Parallel { threads } => threads,
+        }
+    }
+}
+
+/// The read-only geometry and policy of one phase run, borrowed from the
+/// [`crate::Network`]: adjacency views, port routing, the CSR slot-arena
+/// layout, and the enforcement knobs. Executors receive it by reference;
+/// it is `Sync` (all shared, immutable data), which is what lets the
+/// parallel executor hand it to scoped workers.
+pub struct PhaseSpec<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) n: usize,
+    pub(crate) neighbors: &'a [Vec<NeighborInfo>],
+    pub(crate) routing: &'a [Vec<(u32, u32)>],
+    /// CSR offsets: node `v`'s inbox slots (= its ports, = its outgoing
+    /// directed edges) are `slot_base[v]..slot_base[v + 1]`.
+    pub(crate) slot_base: &'a [usize],
+    /// `write_slot[slot_base[v] + p]` = the global slot of the directed
+    /// edge leaving `v` through port `p` (i.e. the reverse-port slot in
+    /// the destination's inbox range).
+    pub(crate) write_slot: &'a [usize],
+    pub(crate) bandwidth_bits: usize,
+    pub(crate) strict: bool,
+    pub(crate) cap: u64,
+    pub(crate) max_degree: usize,
+}
+
+impl PhaseSpec<'_> {
+    /// The local context of node `v` at `round`.
+    pub(crate) fn ctx(&self, v: usize, round: u64) -> NodeCtx<'_> {
+        NodeCtx {
+            node: NodeId::from_index(v),
+            n: self.n,
+            bandwidth_bits: self.bandwidth_bits,
+            round,
+            neighbors: &self.neighbors[v],
+        }
+    }
+}
+
+/// Drives one phase to completion over a [`PhaseSpec`]. See the module
+/// docs for the contract: implementations must preserve the synchronous
+/// semantics (a round's sends are the next round's inboxes) and produce
+/// schedule-independent outputs and metrics.
+pub trait RoundExecutor {
+    /// Runs boot, all rounds, and finish; returns per-node outputs and
+    /// the phase metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError`] exactly as [`crate::Network::run`]
+    /// documents: invalid/double sends, bandwidth violations and messages
+    /// to halted nodes (strict mode), round-cap overruns, and protocol
+    /// violations from `finish`.
+    fn run_phase<A: Algorithm>(
+        &self,
+        spec: &PhaseSpec<'_>,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError>;
+}
+
+/// The single-threaded executor: one inline sweep per round.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SerialExecutor;
+
+impl RoundExecutor for SerialExecutor {
+    fn run_phase<A: Algorithm>(
+        &self,
+        spec: &PhaseSpec<'_>,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
+        drive_phase(spec, algo, inputs, &ExecMode::Serial)
+    }
+}
+
+/// The deterministic parallel executor: scoped worker threads claim
+/// contiguous node chunks from an atomic cursor each sweep. Results are
+/// bit-identical to [`SerialExecutor`] regardless of the thread count.
+#[derive(Copy, Clone, Debug)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with `threads` workers (`0` = machine parallelism).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelExecutor { threads }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        ExecutorKind::Parallel {
+            threads: self.threads,
+        }
+        .effective_threads()
+    }
+}
+
+impl RoundExecutor for ParallelExecutor {
+    fn run_phase<A: Algorithm>(
+        &self,
+        spec: &PhaseSpec<'_>,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
+        let threads = self.threads().max(1);
+        // Several chunks per worker for load balance, but never so small
+        // that cursor traffic dominates a sweep.
+        let chunk = (spec.n / (threads * 4)).max(32);
+        drive_phase(spec, algo, inputs, &ExecMode::Parallel { threads, chunk })
+    }
+}
+
+/// The shared phase driver: boot sweep, round sweeps until every node
+/// halts, then finish — with the live/in-flight bookkeeping and error
+/// selection that both executors share.
+fn drive_phase<A: Algorithm>(
+    spec: &PhaseSpec<'_>,
+    algo: &A,
+    inputs: Vec<A::Input>,
+    mode: &ExecMode,
+) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
+    let n = spec.n;
+    let mut ps = PhaseState::new(spec, algo);
+    let mut metrics = PhaseMetrics {
+        name: spec.name.to_string(),
+        ..Default::default()
+    };
+    let mut live = n;
+    // Messages routed but not yet consumed — maintained incrementally
+    // from the sweep stats instead of scanning queues every round.
+    let mut in_flight = 0usize;
+
+    let input_cells = cells::SyncCells::new(inputs.into_iter().map(Some).collect());
+    let boot = execute_sweep(
+        &ps,
+        &Sweep::Boot {
+            inputs: &input_cells,
+            write: &ps.arenas[0],
+        },
+        &Domain::All(n),
+        mode,
+    );
+    let mut touched = absorb(&mut metrics, &mut live, &mut in_flight, boot)?;
+
+    // Round sweeps cover the live nodes plus any halted node whose inbox
+    // went non-empty — not all `n` — so long pipelined tails where most
+    // of the network has halted cost only the nodes still working. The
+    // live list is compacted lazily (when ≥ ¼ of it is stale) to keep
+    // its maintenance amortized.
+    let mut live_list: Vec<u32> = (0..n as u32).collect();
+    let mut stale_halts = 0usize;
+    let mut round: u64 = 0;
+    loop {
+        if live == 0 {
+            if in_flight > 0 && spec.strict {
+                // Someone sent to a halted node (everyone is halted).
+                let dest = ps.arenas[(round % 2) as usize]
+                    .first_pending()
+                    .expect("in-flight messages occupy a slot");
+                return Err(CongestError::MessageToHalted {
+                    phase: spec.name.to_string(),
+                    node: NodeId::from_index(dest),
+                    round,
+                });
+            }
+            break;
+        }
+        round += 1;
+        if round > spec.cap {
+            return Err(CongestError::MaxRoundsExceeded {
+                phase: spec.name.to_string(),
+                cap: spec.cap,
+            });
+        }
+        // Between sweeps no workers exist, so halted flags are stable:
+        // split last round's touched destinations into the halted ones
+        // (their own sweep segment) — live ones are already in the list.
+        let halted_touched: Vec<u32> = touched
+            .iter()
+            .copied()
+            .filter(|&v| ps.nodes.get_exclusive(v as usize).halted)
+            .collect();
+        let read = &ps.arenas[((round - 1) % 2) as usize];
+        let write = &ps.arenas[(round % 2) as usize];
+        let stats = execute_sweep(
+            &ps,
+            &Sweep::Round { round, read, write },
+            &Domain::Lists {
+                live: &live_list,
+                halted: &halted_touched,
+            },
+            mode,
+        );
+        let halts = stats.halts;
+        touched = absorb(&mut metrics, &mut live, &mut in_flight, stats)?;
+        stale_halts += halts;
+        if stale_halts * 4 >= live_list.len() {
+            live_list.retain(|&v| !ps.nodes.get_exclusive(v as usize).halted);
+            stale_halts = 0;
+        }
+    }
+    metrics.rounds = round;
+    metrics.max_edge_load_bits = ps.max_edge_load_bits();
+
+    let mut outputs = Vec::with_capacity(n);
+    for (v, cell) in ps.nodes.into_inner().into_iter().enumerate() {
+        let ctx = spec.ctx(v, round);
+        let out = algo
+            .finish(cell.state.expect("state present"), &ctx)
+            .map_err(|violation| CongestError::Protocol {
+                phase: spec.name.to_string(),
+                node: NodeId::from_index(v),
+                reason: violation.reason,
+            })?;
+        outputs.push(out);
+    }
+    Ok((outputs, metrics))
+}
+
+/// Folds one sweep's stats into the phase accounting, returning the
+/// sweep's touched destinations — or surfaces its earliest (lowest-node)
+/// error.
+fn absorb(
+    metrics: &mut PhaseMetrics,
+    live: &mut usize,
+    in_flight: &mut usize,
+    stats: SweepStats,
+) -> Result<Vec<u32>, CongestError> {
+    if let Some((_, e)) = stats.err {
+        return Err(e);
+    }
+    metrics.messages += stats.messages;
+    metrics.bits += stats.bits;
+    metrics.max_message_bits = metrics.max_message_bits.max(stats.max_message_bits);
+    metrics.violations += stats.violations;
+    *live -= stats.halts;
+    *in_flight += stats.messages as usize;
+    *in_flight -= stats.delivered;
+    Ok(stats.touched)
+}

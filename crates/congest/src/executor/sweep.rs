@@ -1,0 +1,422 @@
+//! The shared per-round node sweep: boot/round execution over a chunk of
+//! nodes, slot-arena routing, and the serial/parallel sweep drivers.
+//!
+//! Both executors run the *same* per-node code on the *same* data
+//! structures; they differ only in who runs the chunks. The serial
+//! executor sweeps `0..n` inline; the parallel executor spawns scoped
+//! workers that claim contiguous chunks from an atomic cursor. Because
+//! every per-node effect lands in per-node cells, per-directed-edge slots,
+//! or commutatively-merged [`SweepStats`], the two schedules are
+//! bit-identical by construction — the parity suite asserts it.
+
+#![allow(unsafe_code)]
+
+use super::cells::{SlotArena, SyncCells};
+use super::PhaseSpec;
+use crate::algorithm::{Algorithm, Step};
+use crate::error::CongestError;
+use crate::message::Message;
+use crate::node::Port;
+use graphs::NodeId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-node executor state: the algorithm state plus the halted flag.
+pub(crate) struct NodeCell<S> {
+    pub(crate) state: Option<S>,
+    pub(crate) halted: bool,
+}
+
+/// Everything a worker touches while sweeping: the phase geometry, the
+/// algorithm, per-node cells, the double-buffered slot arenas, and the
+/// cumulative per-directed-edge load accumulators.
+pub(crate) struct PhaseState<'a, A: Algorithm> {
+    pub(crate) spec: &'a PhaseSpec<'a>,
+    pub(crate) algo: &'a A,
+    pub(crate) nodes: SyncCells<NodeCell<A::State>>,
+    pub(crate) arenas: [SlotArena<A::Msg>; 2],
+    /// Cumulative bits routed over each directed edge this phase
+    /// (slot-indexed; single writer per round — the edge's sender).
+    pub(crate) edge_load: SyncCells<u64>,
+}
+
+impl<'a, A: Algorithm> PhaseState<'a, A> {
+    pub(crate) fn new(spec: &'a PhaseSpec<'a>, algo: &'a A) -> Self {
+        let n = spec.n;
+        let total = spec.slot_base[n];
+        PhaseState {
+            spec,
+            algo,
+            nodes: SyncCells::new(
+                (0..n)
+                    .map(|_| NodeCell {
+                        state: None,
+                        halted: false,
+                    })
+                    .collect(),
+            ),
+            arenas: [SlotArena::new(total, n), SlotArena::new(total, n)],
+            edge_load: SyncCells::new(vec![0; total]),
+        }
+    }
+
+    /// The phase's `max_edge_load_bits`: the heaviest cumulative load on
+    /// any single (edge, direction). Takes `&mut self` — called after the
+    /// last sweep, when no workers exist.
+    pub(crate) fn max_edge_load_bits(&mut self) -> usize {
+        self.edge_load.iter_exclusive().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// One sweep over all nodes: the boot sweep or a numbered round.
+pub(crate) enum Sweep<'s, A: Algorithm> {
+    /// Round 0: take each node's input, `boot` it, route its outbox.
+    Boot {
+        inputs: &'s SyncCells<Option<A::Input>>,
+        write: &'s SlotArena<A::Msg>,
+    },
+    /// Round `round ≥ 1`: deliver inboxes from `read`, step live nodes,
+    /// route outboxes into `write`.
+    Round {
+        round: u64,
+        read: &'s SlotArena<A::Msg>,
+        write: &'s SlotArena<A::Msg>,
+    },
+}
+
+/// What one worker accumulates over its chunks. Every field merges
+/// commutatively (sums, maxes, min-node error, set union), so the merged
+/// totals are independent of the chunk schedule.
+#[derive(Default)]
+pub(crate) struct SweepStats {
+    pub(crate) messages: u64,
+    pub(crate) bits: u64,
+    pub(crate) max_message_bits: usize,
+    pub(crate) violations: u64,
+    /// Nodes that halted during this sweep.
+    pub(crate) halts: usize,
+    /// Messages consumed from the read arena (delivered or dropped).
+    pub(crate) delivered: usize,
+    /// Destinations whose inbox went non-empty this sweep (each exactly
+    /// once: pushed by the sender that flipped its pending count from 0).
+    /// The next round sweeps `live ∪ (touched ∩ halted)` instead of all
+    /// `n` nodes, so fully-halted regions cost nothing per round.
+    pub(crate) touched: Vec<u32>,
+    /// The sweep's error at the smallest node index, if any — exactly the
+    /// error the serial schedule would have hit first.
+    pub(crate) err: Option<(usize, CongestError)>,
+}
+
+impl SweepStats {
+    fn record_err(&mut self, node: usize, e: CongestError) {
+        match &self.err {
+            Some((held, _)) if *held <= node => {}
+            _ => self.err = Some((node, e)),
+        }
+    }
+
+    fn merge(&mut self, other: SweepStats) {
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.violations += other.violations;
+        self.halts += other.halts;
+        self.delivered += other.delivered;
+        self.touched.extend_from_slice(&other.touched);
+        if let Some((node, e)) = other.err {
+            self.record_err(node, e);
+        }
+    }
+}
+
+/// The node set one sweep covers.
+pub(crate) enum Domain<'d> {
+    /// Every node `0..n` (the boot sweep).
+    All(usize),
+    /// Round sweeps: the live nodes (ascending ids; may contain nodes
+    /// that halted since the last compaction — they are skipped in O(1))
+    /// plus the halted nodes with a non-empty inbox, which only need
+    /// their messages-to-halted check. The two segments never make a
+    /// worker touch a node cell another worker owns: a stale-halted
+    /// node's cell is read (not written) in the live segment, and its
+    /// inbox is consumed only in the halted segment.
+    Lists { live: &'d [u32], halted: &'d [u32] },
+}
+
+impl Domain<'_> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Domain::All(n) => *n,
+            Domain::Lists { live, halted } => live.len() + halted.len(),
+        }
+    }
+}
+
+/// How a sweep is scheduled across nodes.
+pub(crate) enum ExecMode {
+    /// One inline pass over `0..n`.
+    Serial,
+    /// `threads` scoped workers claiming `chunk`-sized ranges from an
+    /// atomic cursor.
+    Parallel { threads: usize, chunk: usize },
+}
+
+/// Runs one sweep under `mode` and returns the merged stats.
+pub(crate) fn execute_sweep<A: Algorithm>(
+    ps: &PhaseState<'_, A>,
+    sweep: &Sweep<'_, A>,
+    domain: &Domain<'_>,
+    mode: &ExecMode,
+) -> SweepStats {
+    let len = domain.len();
+    match *mode {
+        // A sweep that does not fill at least two chunks has nothing to
+        // parallelize: run it inline and skip the thread spawns.
+        // Identical results by construction (same per-node code,
+        // commutative stats), and it is what keeps long pipelined
+        // tails — thousands of rounds with a handful of live nodes —
+        // from paying per-round spawn costs.
+        ExecMode::Parallel { threads, chunk } if len > chunk && threads > 1 => {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut stats = SweepStats::default();
+                            let mut scratch = Vec::with_capacity(ps.spec.max_degree);
+                            loop {
+                                let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if lo >= len {
+                                    break;
+                                }
+                                let hi = (lo + chunk).min(len);
+                                run_nodes(ps, sweep, domain, lo, hi, &mut scratch, &mut stats);
+                            }
+                            stats
+                        })
+                    })
+                    .collect();
+                let mut merged = SweepStats::default();
+                for h in handles {
+                    match h.join() {
+                        Ok(s) => merged.merge(s),
+                        // A panicking algorithm panics the caller, as it
+                        // does under the serial executor.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                merged
+            })
+        }
+        _ => {
+            let mut stats = SweepStats::default();
+            let mut scratch = Vec::with_capacity(ps.spec.max_degree);
+            run_nodes(ps, sweep, domain, 0, len, &mut scratch, &mut stats);
+            stats
+        }
+    }
+}
+
+/// Runs one sweep over the domain positions `lo..hi` (a claimed chunk).
+///
+/// Errors are *recorded*, not early-returned: every domain position is
+/// processed so the merged minimum-node error is identical under any
+/// chunk schedule (serial included).
+///
+/// SAFETY discipline: positions `lo..hi` are exclusively owned by this
+/// caller for this sweep, so `get_mut` on node cells/inputs resolved
+/// from the range is exclusive (the live and halted segments are
+/// disjoint node sets except for stale-halted entries, which the live
+/// segment only reads); slot writes go through the sender-unique
+/// `write_slot` mapping and slot reads through the destination-unique
+/// inbox range (see [`super::cells`] for the full argument).
+fn run_nodes<A: Algorithm>(
+    ps: &PhaseState<'_, A>,
+    sweep: &Sweep<'_, A>,
+    domain: &Domain<'_>,
+    lo: usize,
+    hi: usize,
+    scratch: &mut Vec<(Port, A::Msg)>,
+    stats: &mut SweepStats,
+) {
+    let spec = ps.spec;
+    match sweep {
+        Sweep::Boot { inputs, write } => {
+            for i in lo..hi {
+                let v = match domain {
+                    Domain::All(_) => i,
+                    Domain::Lists { live, halted } => {
+                        if i < live.len() {
+                            live[i] as usize
+                        } else {
+                            halted[i - live.len()] as usize
+                        }
+                    }
+                };
+                // SAFETY: `v` is in this worker's claimed chunk.
+                let input = unsafe { inputs.get_mut(v) }
+                    .take()
+                    .expect("exactly one input per node");
+                let ctx = spec.ctx(v, 0);
+                let (state, outbox) = ps.algo.boot(&ctx, input);
+                // SAFETY: as above.
+                unsafe { ps.nodes.get_mut(v) }.state = Some(state);
+                route_outbox(ps, v, 0, outbox.msgs, write, stats);
+            }
+        }
+        Sweep::Round { round, read, write } => {
+            for i in lo..hi {
+                let (v, halted_with_inbox) = match domain {
+                    Domain::All(_) => (i, false),
+                    Domain::Lists { live, halted } => {
+                        if i < live.len() {
+                            (live[i] as usize, false)
+                        } else {
+                            (halted[i - live.len()] as usize, true)
+                        }
+                    }
+                };
+                if halted_with_inbox {
+                    // A halted node whose inbox went non-empty: the
+                    // protocol violation check, nothing else.
+                    let pending = read.pending(v);
+                    if pending > 0 {
+                        if spec.strict {
+                            stats.record_err(
+                                v,
+                                CongestError::MessageToHalted {
+                                    phase: spec.name.to_string(),
+                                    node: NodeId::from_index(v),
+                                    round: *round,
+                                },
+                            );
+                            continue;
+                        }
+                        // Lax mode: drop the inbox.
+                        let base = spec.slot_base[v];
+                        let end = spec.slot_base[v + 1];
+                        for s in base..end {
+                            // SAFETY: this worker owns destination `v`.
+                            unsafe { read.slot_mut(s) }.take();
+                        }
+                        read.reset_pending(v);
+                        stats.delivered += pending as usize;
+                    }
+                    continue;
+                }
+                // SAFETY: `v` is in this worker's claimed chunk; if it is
+                // a stale-halted entry its cell is only read here.
+                let cell = unsafe { ps.nodes.get_mut(v) };
+                if cell.halted {
+                    // Stale live-list entry awaiting compaction. Its
+                    // inbox, if any, is handled by the halted segment.
+                    continue;
+                }
+                scratch.clear();
+                if read.pending(v) > 0 {
+                    let base = spec.slot_base[v];
+                    let end = spec.slot_base[v + 1];
+                    for (p, s) in (base..end).enumerate() {
+                        // SAFETY: this worker owns destination `v`.
+                        if let Some(m) = unsafe { read.slot_mut(s) }.take() {
+                            scratch.push((Port(p as u32), m));
+                        }
+                    }
+                    read.reset_pending(v);
+                    stats.delivered += scratch.len();
+                }
+                let ctx = spec.ctx(v, *round);
+                let state = cell.state.as_mut().expect("live node has state");
+                let outbox = match ps.algo.round(state, &ctx, scratch) {
+                    Step::Continue(o) => o,
+                    Step::Halt(o) => {
+                        cell.halted = true;
+                        stats.halts += 1;
+                        o
+                    }
+                };
+                route_outbox(ps, v, *round, outbox.msgs, write, stats);
+            }
+        }
+    }
+}
+
+/// Validates and routes one node's outbox into the write arena. The
+/// engine's invariants are enforced here: ports must exist, a port may
+/// carry at most one message per round (slot occupancy *is* the
+/// `DoubleSend` check — the slot belongs to this sender alone), and
+/// strict mode rejects over-budget messages.
+fn route_outbox<A: Algorithm>(
+    ps: &PhaseState<'_, A>,
+    v: usize,
+    round: u64,
+    msgs: Vec<(Port, A::Msg)>,
+    write: &SlotArena<A::Msg>,
+    stats: &mut SweepStats,
+) {
+    let spec = ps.spec;
+    let degree = spec.neighbors[v].len();
+    let base = spec.slot_base[v];
+    for (port, msg) in msgs {
+        let p = port.index();
+        if p >= degree {
+            stats.record_err(
+                v,
+                CongestError::InvalidPort {
+                    phase: spec.name.to_string(),
+                    node: NodeId::from_index(v),
+                    port,
+                    degree,
+                },
+            );
+            return;
+        }
+        let slot = spec.write_slot[base + p];
+        // SAFETY: `slot` names the directed edge (v, p); only this sender
+        // writes it this round.
+        let cell = unsafe { write.slot_mut(slot) };
+        if cell.is_some() {
+            stats.record_err(
+                v,
+                CongestError::DoubleSend {
+                    phase: spec.name.to_string(),
+                    node: NodeId::from_index(v),
+                    port,
+                    round,
+                },
+            );
+            return;
+        }
+        let bits = msg.bit_len();
+        if bits > spec.bandwidth_bits {
+            if spec.strict {
+                stats.record_err(
+                    v,
+                    CongestError::BandwidthExceeded {
+                        phase: spec.name.to_string(),
+                        node: NodeId::from_index(v),
+                        port,
+                        bits,
+                        budget: spec.bandwidth_bits,
+                        round,
+                    },
+                );
+                return;
+            }
+            stats.violations += 1;
+        }
+        stats.messages += 1;
+        stats.bits += bits as u64;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        // SAFETY: same single-writer argument as the slot itself.
+        unsafe {
+            *ps.edge_load.get_mut(slot) += bits as u64;
+        }
+        let (dest, _) = spec.routing[v][p];
+        if write.add_pending(dest as usize) == 0 {
+            // First message into `dest` this round: nominate it for the
+            // next round's touched set.
+            stats.touched.push(dest);
+        }
+        *cell = Some(msg);
+    }
+}

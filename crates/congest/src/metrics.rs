@@ -13,9 +13,11 @@ pub struct PhaseMetrics {
     pub bits: u64,
     /// The largest single-message size observed (bits).
     pub max_message_bits: usize,
-    /// The largest per-edge, per-direction, per-round load observed (bits).
-    /// Equal to `max_message_bits` because the engine permits one message
-    /// per directed edge per round; kept separate for clarity in reports.
+    /// The largest **cumulative** load placed on a single (edge,
+    /// direction) across the whole phase (bits): the congestion measure.
+    /// Per round the two coincide with `max_message_bits` (one message
+    /// per directed edge per round), but a phase that keeps streaming
+    /// over one edge accumulates load here that no single message shows.
     pub max_edge_load_bits: usize,
     /// Bandwidth violations observed (always 0 in strict mode — strict runs
     /// fail fast instead).
@@ -64,6 +66,15 @@ impl MetricsLedger {
         self.phases
             .iter()
             .map(|p| p.max_message_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The heaviest cumulative (edge, direction) load in any phase.
+    pub fn max_edge_load_bits(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| p.max_edge_load_bits)
             .max()
             .unwrap_or(0)
     }

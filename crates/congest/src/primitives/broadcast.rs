@@ -11,7 +11,10 @@ use std::marker::PhantomData;
 /// Rounds: `height + 1`.
 #[derive(Clone, Debug, Default)]
 pub struct Broadcast<T> {
-    _marker: PhantomData<T>,
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> Broadcast<T> {
@@ -93,7 +96,10 @@ impl<T: Message> Message for StreamMsg<T> {
 /// `k + height + 1`.
 #[derive(Clone, Debug, Default)]
 pub struct BroadcastItems<T> {
-    _marker: PhantomData<T>,
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> BroadcastItems<T> {

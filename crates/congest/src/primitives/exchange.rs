@@ -15,7 +15,10 @@ use std::marker::PhantomData;
 /// collects what its neighbors sent. Rounds: 2 (send + receive).
 #[derive(Clone, Debug, Default)]
 pub struct NeighborExchange<T> {
-    _marker: PhantomData<T>,
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> NeighborExchange<T> {
@@ -70,7 +73,10 @@ impl<T: Message> Algorithm for NeighborExchange<T> {
 /// `max_list_len + 2`.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeListExchange<T> {
-    _marker: PhantomData<T>,
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> EdgeListExchange<T> {

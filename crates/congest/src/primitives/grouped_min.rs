@@ -85,7 +85,10 @@ impl<T: KeyedItem> KeyedMonoid for BestMonoid<T> {
 /// by key)` at each root, `None` elsewhere.
 #[derive(Clone, Debug, Default)]
 pub struct GroupedBest<T> {
-    _marker: PhantomData<T>,
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> GroupedBest<T> {

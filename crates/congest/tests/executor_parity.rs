@@ -1,0 +1,282 @@
+//! Executor parity: the deterministic parallel executor must be
+//! **bit-identical** to the serial one — same per-node outputs, same
+//! round counts, and the same full [`PhaseMetrics`] — on every topology
+//! and protocol, at every thread count.
+//!
+//! Random trees exercise deep sequential dependencies (pipelined streams
+//! live for `O(k + height)` rounds), tori exercise uniform degree with
+//! wrap-around routing, and cliques exercise the widest inboxes (n − 1
+//! slots per node, all occupied). `MinFlood` stresses raw flooding,
+//! `LeaderBfs` stresses halting at different times (echo termination),
+//! and `GroupedSum` routes everything through the shared
+//! `KeyedStreamReduce` merge core. The full-pipeline parity test
+//! (`exact_mincut` serial vs parallel on a planted graph) lives in the
+//! umbrella crate's `tests/executor_parity.rs`, next to the code it
+//! drives.
+
+use congest::primitives::leader_bfs::LeaderBfs;
+use congest::primitives::GroupedSum;
+use congest::{
+    Algorithm, ExecutorKind, FinishResult, Network, NetworkConfig, NodeCtx, Outbox, Port,
+    RunOutcome, Step, TreeInfo,
+};
+use graphs::{generators, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every node floods its id for `ttl` rounds and outputs the minimum it
+/// has seen (the engine's own smoke-test algorithm, re-declared here
+/// because integration tests cannot see `engine::tests`).
+struct MinFlood {
+    ttl: u64,
+}
+
+struct MinState {
+    best: u32,
+    changed: bool,
+}
+
+impl Algorithm for MinFlood {
+    type Input = ();
+    type State = MinState;
+    type Msg = u32;
+    type Output = u32;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, _input: ()) -> (MinState, Outbox<u32>) {
+        let mut o = Outbox::new();
+        o.send_all(ctx.ports(), ctx.node.raw());
+        (
+            MinState {
+                best: ctx.node.raw(),
+                changed: false,
+            },
+            o,
+        )
+    }
+
+    fn round(&self, state: &mut MinState, ctx: &NodeCtx<'_>, inbox: &[(Port, u32)]) -> Step<u32> {
+        state.changed = false;
+        for (_, m) in inbox {
+            if *m < state.best {
+                state.best = *m;
+                state.changed = true;
+            }
+        }
+        if ctx.round >= self.ttl {
+            return Step::halt();
+        }
+        let mut o = Outbox::new();
+        if state.changed {
+            o.send_all(ctx.ports(), state.best);
+        }
+        Step::Continue(o)
+    }
+
+    fn finish(&self, state: MinState, _ctx: &NodeCtx<'_>) -> FinishResult<u32> {
+        Ok(state.best)
+    }
+}
+
+/// One graph from the three stress families, keyed by `family % 3`.
+fn make_graph(family: u8, seed: u64, size: usize) -> WeightedGraph {
+    match family % 3 {
+        // Random tree: node i attaches to a uniform ancestor.
+        0 => {
+            let n = size.max(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges: Vec<(u32, u32, u64)> = (1..n)
+                .map(|i| {
+                    let parent = rng.gen_range(0..i) as u32;
+                    (parent, i as u32, 1 + (seed + i as u64) % 7)
+                })
+                .collect();
+            WeightedGraph::from_edges(n, edges).expect("valid tree")
+        }
+        // Torus: uniform degree 4, wrap-around routing.
+        1 => {
+            let side = (2 + size % 5).max(2);
+            generators::torus2d(side, side).expect("valid torus")
+        }
+        // Clique: the widest possible inboxes.
+        _ => generators::complete(3 + size % 6, 1 + seed % 5).expect("valid clique"),
+    }
+}
+
+/// Runs `algo` on `g` under the given executor and returns the outcome.
+fn run_with<A: Algorithm>(
+    g: &WeightedGraph,
+    kind: ExecutorKind,
+    name: &str,
+    algo: &A,
+    inputs: Vec<A::Input>,
+) -> RunOutcome<A::Output> {
+    let cfg = NetworkConfig {
+        executor: kind,
+        ..Default::default()
+    };
+    let mut net = Network::new(g, cfg).expect("valid topology");
+    net.run(name, algo, inputs).expect("phase must succeed")
+}
+
+/// Per-node `(key, value)` lists with duplicate keys and empty nodes, so
+/// the grouped-sum streams have uneven lengths and racing `End` markers.
+fn keyed_inputs(n: usize, seed: u64) -> Vec<Vec<(u64, u64)>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..4usize);
+            (0..k)
+                .map(|_| (rng.gen_range(0..10u64), rng.gen_range(1..100u64)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MinFlood: outputs, rounds, and the full metrics struct agree
+    /// between serial and parallel at 2 and 5 threads.
+    #[test]
+    fn min_flood_parity(family in 0u8..3, seed in 0u64..1000, size in 4usize..40) {
+        let g = make_graph(family, seed, size);
+        let n = g.node_count();
+        let ttl = 2 + (seed % 9);
+        let want = run_with(&g, ExecutorKind::Serial, "flood", &MinFlood { ttl }, vec![(); n]);
+        for threads in [2usize, 5] {
+            let got = run_with(
+                &g,
+                ExecutorKind::Parallel { threads },
+                "flood",
+                &MinFlood { ttl },
+                vec![(); n],
+            );
+            prop_assert_eq!(&got.outputs, &want.outputs);
+            prop_assert_eq!(&got.metrics, &want.metrics);
+        }
+    }
+
+    /// LeaderBfs (nodes halt at different rounds via echo termination)
+    /// followed by GroupedSum (the KeyedStreamReduce merge core): both
+    /// phases are bit-identical across executors, including the session
+    /// ledger totals.
+    #[test]
+    fn bfs_and_keyed_stream_reduce_parity(family in 0u8..3, seed in 0u64..1000, size in 4usize..32) {
+        let g = make_graph(family, seed, size);
+        let n = g.node_count();
+        let lists = keyed_inputs(n, seed);
+
+        let run_session = |kind: ExecutorKind| {
+            let cfg = NetworkConfig { executor: kind, ..Default::default() };
+            let mut net = Network::new(&g, cfg).expect("valid topology");
+            let bfs = net
+                .run("leader_bfs", &LeaderBfs::new(), vec![(); n])
+                .expect("bfs succeeds");
+            let trees: Vec<TreeInfo> = bfs.outputs.iter().map(|o| o.tree.clone()).collect();
+            let inputs: Vec<(TreeInfo, Vec<(u64, u64)>)> = trees
+                .into_iter()
+                .zip(lists.iter().cloned())
+                .collect();
+            let gs = net
+                .run("grouped_sum", &GroupedSum::new(), inputs)
+                .expect("grouped sum succeeds");
+            (
+                bfs.metrics,
+                gs.outputs,
+                gs.metrics,
+                net.ledger().total_rounds(),
+                net.ledger().total_bits(),
+                net.ledger().max_edge_load_bits(),
+            )
+        };
+
+        let want = run_session(ExecutorKind::Serial);
+        for threads in [2usize, 5] {
+            let got = run_session(ExecutorKind::Parallel { threads });
+            prop_assert_eq!(&got.0, &want.0);
+            prop_assert_eq!(&got.1, &want.1);
+            prop_assert_eq!(&got.2, &want.2);
+            prop_assert_eq!(got.3, want.3);
+            prop_assert_eq!(got.4, want.4);
+            prop_assert_eq!(got.5, want.5);
+        }
+    }
+}
+
+/// Strict-mode failures also agree, and the lowest-id error wins even
+/// when two nodes err in the same round. `n = 200` keeps the sweep
+/// domain well above the parallel executor's inline-fallback threshold
+/// (chunk = max(n/(threads·4), 32)), so the multi-worker claiming path
+/// and the cross-chunk error merge really run; the two errors land in
+/// different chunks *and* different domain segments (node 1 in the
+/// halted-touched segment, node 150 in the live segment).
+#[test]
+fn strict_error_parity_picks_the_lowest_node_across_chunks() {
+    struct TwoFaults;
+    impl Algorithm for TwoFaults {
+        type Input = ();
+        type State = ();
+        type Msg = u32;
+        type Output = ();
+        fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+            ((), Outbox::new())
+        }
+        fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+            // Node 1 halts immediately; node 0 messages it in round 2
+            // (arriving round 3, a MessageToHalted at node 1); node 150
+            // double-sends in round 3 (a DoubleSend at node 150). Both
+            // errors surface in round 3 — the engine must pick node 1,
+            // under every schedule.
+            if ctx.node.raw() == 1 {
+                return Step::halt();
+            }
+            if ctx.round == 2 && ctx.node.raw() == 0 {
+                let mut o = Outbox::new();
+                o.send(Port(0), 9);
+                return Step::Halt(o);
+            }
+            if ctx.round == 3 && ctx.node.raw() == 150 {
+                let mut o = Outbox::new();
+                o.send(Port(0), 1).send(Port(0), 2);
+                return Step::Halt(o);
+            }
+            if ctx.round >= 3 {
+                return Step::halt();
+            }
+            Step::idle()
+        }
+        fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+            Ok(())
+        }
+    }
+
+    let g = generators::path(200).unwrap();
+    let errs: Vec<_> = [
+        ExecutorKind::Serial,
+        ExecutorKind::Parallel { threads: 2 },
+        ExecutorKind::Parallel { threads: 7 },
+    ]
+    .into_iter()
+    .map(|kind| {
+        let cfg = NetworkConfig {
+            executor: kind,
+            ..Default::default()
+        };
+        let mut net = Network::new(&g, cfg).unwrap();
+        net.run("late", &TwoFaults, vec![(); 200]).unwrap_err()
+    })
+    .collect();
+    for e in &errs {
+        assert!(
+            matches!(
+                e,
+                congest::CongestError::MessageToHalted { node, round: 3, .. }
+                    if node.raw() == 1
+            ),
+            "expected MessageToHalted at node 1, got {e:?}"
+        );
+    }
+    assert_eq!(errs[0], errs[1]);
+    assert_eq!(errs[0], errs[2]);
+}

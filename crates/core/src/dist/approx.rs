@@ -27,7 +27,8 @@ use graphs::{CutResult, WeightedGraph};
 pub struct ApproxConfig {
     /// Approximation slack: the returned value is `≤ (1+ε)·λ` w.h.p.
     pub eps: f64,
-    /// CONGEST model parameters.
+    /// CONGEST model parameters, including which round executor drives
+    /// the phases (`network.executor`) — results are executor-independent.
     pub network: NetworkConfig,
     /// Distributed MST stage knobs.
     pub mst: MstConfig,

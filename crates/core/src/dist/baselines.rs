@@ -29,7 +29,8 @@ use graphs::{CutResult, WeightedGraph};
 pub struct BaselineConfig {
     /// Quality slack of the baseline's sampling rate.
     pub eps: f64,
-    /// CONGEST model parameters.
+    /// CONGEST model parameters, including which round executor drives
+    /// the phases (`network.executor`) — results are executor-independent.
     pub network: NetworkConfig,
     /// Distributed MST stage knobs.
     pub mst: MstConfig,

@@ -32,7 +32,7 @@ use congest::primitives::subtree::SubtreeSums;
 use congest::primitives::{
     Broadcast, BroadcastItems, GroupedBest, GroupedSum, NeighborExchange, UpcastItems,
 };
-use congest::{MetricsLedger, Network, NetworkConfig, Port, TreeInfo};
+use congest::{ExecutorKind, MetricsLedger, Network, NetworkConfig, Port, TreeInfo};
 use graphs::{CutResult, NodeId, WeightedGraph};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -40,13 +40,26 @@ use std::collections::{BTreeMap, BTreeSet};
 /// policy, and the MST stage knobs.
 #[derive(Clone, Debug, Default)]
 pub struct ExactConfig {
-    /// CONGEST model parameters (bandwidth `β`, strictness, round cap).
+    /// CONGEST model parameters (bandwidth `β`, strictness, round cap,
+    /// and which round executor drives the phases — `network.executor`
+    /// selects serial or deterministic-parallel execution; the result is
+    /// executor-independent, see `tests/executor_parity.rs`).
     pub network: NetworkConfig,
     /// Greedy tree packing policy (how many trees, mirroring the
     /// sequential packing).
     pub packing: PackingConfig,
     /// Distributed MST stage knobs (fragment cap, coin seed).
     pub mst: MstConfig,
+}
+
+impl ExactConfig {
+    /// This config with the given round executor on its network.
+    pub fn with_executor(self, executor: ExecutorKind) -> Self {
+        ExactConfig {
+            network: self.network.with_executor(executor),
+            ..self
+        }
+    }
 }
 
 /// Result of a distributed minimum-cut run.

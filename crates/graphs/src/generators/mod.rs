@@ -30,7 +30,9 @@ pub use lower_bound::das_sarma_style;
 pub use planted::{barbell, clique_pair, community_pair, lollipop, PlantedCut};
 pub use random::{erdos_renyi, erdos_renyi_connected, gnm_connected, random_geometric};
 pub use regular::random_regular;
-pub use structured::{caterpillar, complete, cycle, grid2d, hypercube, path, star, torus2d};
+pub use structured::{
+    caterpillar, complete, cycle, grid2d, hypercube, path, star, torus2d, torus3d_with_chords,
+};
 pub use weights::randomize_weights;
 
 use crate::{GraphError, NodeId, WeightedGraph};

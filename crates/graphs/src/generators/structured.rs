@@ -112,6 +112,65 @@ pub fn torus2d(rows: usize, cols: usize) -> Result<WeightedGraph, GeneratorError
     Ok(WeightedGraph::from_edges(rows * cols, edges)?)
 }
 
+/// 3-dimensional torus `Z_a × Z_b × Z_c` (unit weights, degree 6) plus
+/// `chords` deterministic long-range weight-7 chords among high-id
+/// nodes.
+///
+/// The bare torus is vertex-transitive, so its edge connectivity equals
+/// its degree: λ = 6 exactly. Chords only *add* edges (no cut value can
+/// decrease) and their weight exceeds 6, so every singleton of a
+/// non-chord node still costs 6 — the minimum cut stays exactly 6 by
+/// construction. The chords scatter any spanning-tree fragment
+/// decomposition, forcing LCAs into third fragments — the workload of
+/// the large-`n` regression test and its benchmark row, which must
+/// measure the *same* instance (hence one shared builder). Chord
+/// endpoints come from a fixed xorshift stream restricted to the
+/// high-id half, so attachment pairs land on large ids (large packed
+/// keys).
+///
+/// # Errors
+///
+/// Fails unless all three dimensions are ≥ 3 (smaller tori degenerate
+/// into multi-edges); chords that would self-loop are skipped, not
+/// errors.
+pub fn torus3d_with_chords(
+    a: usize,
+    b: usize,
+    c: usize,
+    chords: usize,
+) -> Result<WeightedGraph, GeneratorError> {
+    if a < 3 || b < 3 || c < 3 {
+        return Err(invalid("3D torus requires all dimensions ≥ 3"));
+    }
+    let n = a * b * c;
+    let id = |x: usize, y: usize, z: usize| -> u32 { ((x * b + y) * c + z) as u32 };
+    let mut edges = Vec::with_capacity(3 * n + chords);
+    for x in 0..a {
+        for y in 0..b {
+            for z in 0..c {
+                edges.push((id(x, y, z), id((x + 1) % a, y, z), 1));
+                edges.push((id(x, y, z), id(x, (y + 1) % b, z), 1));
+                edges.push((id(x, y, z), id(x, y, (z + 1) % c), 1));
+            }
+        }
+    }
+    let mut s = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for _ in 0..chords {
+        let u = (n / 2 + (next() as usize) % (n / 2)) as u32;
+        let v = (n / 2 + (next() as usize) % (n / 2)) as u32;
+        if u != v {
+            edges.push((u.min(v), u.max(v), 7));
+        }
+    }
+    Ok(WeightedGraph::from_edges(n, edges)?)
+}
+
 /// Hypercube on `2^dim` nodes, unit weights. Minimum cut is `dim`
 /// (isolating any single vertex; the hypercube is `dim`-regular and
 /// `dim`-edge-connected). Diameter is `dim`.

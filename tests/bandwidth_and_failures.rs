@@ -12,7 +12,7 @@ fn config_with_factor(factor: usize, strict: bool) -> ExactConfig {
         network: NetworkConfig {
             bandwidth_factor: factor,
             strict,
-            max_rounds: 0,
+            ..Default::default()
         },
         ..Default::default()
     }

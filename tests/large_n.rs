@@ -8,67 +8,36 @@
 //! the case-2 pair aggregation (`s4a`) really carried keyed traffic — the
 //! code path the widening exists for.
 
-use mincut_repro::graphs::WeightedGraph;
+use mincut_repro::congest::ExecutorKind;
+use mincut_repro::graphs::generators::torus3d_with_chords;
 use mincut_repro::mincut::dist::driver::{exact_mincut, ExactConfig};
 use mincut_repro::mincut::seq::tree_packing::{PackingConfig, PackingSize};
 
-/// A 3-dimensional torus `Z_a × Z_b × Z_c` (unit weights, degree 6) plus
-/// `chords` long-range weight-7 chords among high-id nodes.
-///
-/// The bare torus is vertex-transitive, so its edge connectivity equals
-/// its degree: λ = 6 exactly. Chords only *add* edges (no cut value can
-/// decrease) and their weight exceeds 6, so every singleton of a
-/// non-chord node still costs 6 — the minimum cut stays exactly 6 by
-/// construction. The chords exist to scatter the fragment tree: they
-/// force case-2 edges (LCA in a third fragment), whose contributions
-/// travel through the pair-keyed grouped sum this test is about.
-fn torus3d_with_chords(a: usize, b: usize, c: usize, chords: usize) -> WeightedGraph {
-    let n = a * b * c;
-    let id = |x: usize, y: usize, z: usize| -> u32 { ((x * b + y) * c + z) as u32 };
-    let mut edges = Vec::with_capacity(3 * n + chords);
-    for x in 0..a {
-        for y in 0..b {
-            for z in 0..c {
-                edges.push((id(x, y, z), id((x + 1) % a, y, z), 1));
-                edges.push((id(x, y, z), id(x, (y + 1) % b, z), 1));
-                edges.push((id(x, y, z), id(x, y, (z + 1) % c), 1));
-            }
-        }
-    }
-    // Deterministic xorshift chords restricted to the high-id half, so
-    // attachment pairs land on large ids (large packed keys).
-    let mut s = 0x9E3779B97F4A7C15u64;
-    let mut next = || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s
-    };
-    for _ in 0..chords {
-        let u = (n / 2 + (next() as usize) % (n / 2)) as u32;
-        let v = (n / 2 + (next() as usize) % (n / 2)) as u32;
-        if u != v {
-            edges.push((u.min(v), u.max(v), 7));
-        }
-    }
-    WeightedGraph::from_edges(n, edges).expect("valid torus construction")
-}
-
 #[test]
 fn exact_mincut_above_the_old_u16_cap() {
-    let g = torus3d_with_chords(42, 41, 41, 300);
+    // λ = 6 by vertex-transitivity; the chords scatter the fragment
+    // tree and force case-2 edges (LCA in a third fragment), whose
+    // contributions travel through the pair-keyed grouped sum this test
+    // is about. The same instance is benchmarked per executor by
+    // `bench_smoke --large` (one shared generator, so the guarded and
+    // the measured workloads cannot drift apart).
+    let g = torus3d_with_chords(42, 41, 41, 300).expect("valid torus construction");
     let n = g.node_count();
     assert!(n > 65535 + 4000, "n = {n} must be ≥ 70000");
 
     // One packed tree suffices: the minimum cut here is a singleton, and
     // the pipeline always considers the minimum-degree singleton seed.
+    // Run on the parallel executor (4 workers): this is the scale the
+    // executor exists for, and the parity suites guarantee the outputs
+    // and metrics asserted below are identical to a serial run.
     let cfg = ExactConfig {
         packing: PackingConfig {
             size: PackingSize::Fixed(1),
             max_trees: 1,
         },
         ..Default::default()
-    };
+    }
+    .with_executor(ExecutorKind::Parallel { threads: 4 });
     // Defaults are strict mode with β = 8: every message is hard-checked
     // against the 8·⌈log₂ n⌉-bit budget, so success *proves* compliance.
     assert!(cfg.network.strict);
