@@ -1,10 +1,18 @@
 //! CI smoke benchmark: the round/wall-time trajectory of the exact
-//! pipeline on two instance families at two sizes each — now crossed
-//! with the round executor (serial vs parallel) — emitted as
+//! pipeline on two instance families at two sizes each — crossed with
+//! the round executor (serial vs parallel) — emitted as
 //! `BENCH_rounds.json` so the perf history of the repository stops being
 //! empty. Rounds, messages, and cut values are executor-independent by
 //! construction (the parity suite asserts it); the per-executor rows
 //! exist to track *wall time*, which is not.
+//!
+//! Besides the per-run totals, every (instance, executor) pair emits
+//! **per-phase rows** (`phase_rows`): the ledger grouped by phase-label
+//! stem (`leader_bfs`, `mstA`, `s4a`, …) with rounds/messages/bits each,
+//! and the top-3 message-heavy phases are printed per instance — so the
+//! trajectory shows *where* the traffic goes, not just how much there
+//! is. That is the accounting that proved (and now guards, see
+//! `message_gate`) the staged-election win.
 //!
 //! Runs in seconds — this is a trend probe, not a full E1–E10 evaluation
 //! (`run_all` remains that). Pass `--large` to append the 70602-node
@@ -12,7 +20,7 @@
 //! both executor flavors; the release-mode CI job does, which is what
 //! regression-guards the slot-arena/parallel speedup.
 
-use congest::ExecutorKind;
+use congest::{ExecutorKind, MetricsLedger};
 use graphs::generators;
 use mincut::dist::driver::{exact_mincut, ExactConfig};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
@@ -28,6 +36,7 @@ struct Sample {
     messages: u64,
     cut: u64,
     wall_ms: f64,
+    ledger: MetricsLedger,
 }
 
 /// The executor grid every instance is measured under.
@@ -63,14 +72,8 @@ fn run(
         messages: r.messages,
         cut: r.cut.value,
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        ledger: r.ledger,
     }
-}
-
-/// The `tests/large_n.rs` instance: the shared
-/// `generators::torus3d_with_chords(42, 41, 41, 300)` builder (λ = 6),
-/// so the benchmark row measures exactly the workload the test gates.
-fn large_n_graph() -> graphs::WeightedGraph {
-    generators::torus3d_with_chords(42, 41, 41, 300).expect("valid torus construction")
 }
 
 fn main() {
@@ -87,7 +90,7 @@ fn main() {
         }
     }
     if large {
-        let g = large_n_graph();
+        let g = mincut_bench::large_n_graph();
         for executor in EXECUTORS {
             samples.push(run("large_n_torus3d", &g, 1, executor));
         }
@@ -104,8 +107,40 @@ fn main() {
         )
         .expect("write to string");
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"phase_rows\": [\n");
+    let phase_rows: Vec<String> = samples
+        .iter()
+        .flat_map(|s| {
+            s.ledger.grouped_by_stem().into_iter().map(|(stem, g)| {
+                format!(
+                    "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"phase\": \"{stem}\", \"phases\": {}, \"rounds\": {}, \"messages\": {}, \"bits\": {}}}",
+                    s.instance, s.executor, g.phases, g.rounds, g.messages, g.bits
+                )
+            })
+        })
+        .collect();
+    json.push_str(&phase_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_rounds.json", &json).expect("write BENCH_rounds.json");
     println!("{json}");
+
+    // Where does the traffic go: top-3 message-heavy phase stems per
+    // instance (the serial rows; the parallel ones are bit-identical).
+    for s in samples.iter().filter(|s| s.executor == "serial") {
+        let mut groups = s.ledger.grouped_by_stem();
+        groups.sort_by_key(|(_, g)| std::cmp::Reverse(g.messages));
+        let top: Vec<String> = groups
+            .iter()
+            .take(3)
+            .map(|(stem, g)| {
+                format!(
+                    "{stem} {:.1}% ({} msgs)",
+                    100.0 * g.messages as f64 / s.messages.max(1) as f64,
+                    g.messages
+                )
+            })
+            .collect();
+        println!("top phases {}: {}", s.instance, top.join(", "));
+    }
     println!("wrote BENCH_rounds.json ({} samples)", samples.len());
 }

@@ -6,6 +6,16 @@ use graphs::WeightedGraph;
 use mincut::dist::driver::{exact_mincut, DistMinCutResult, ExactConfig};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
 
+/// The canonical large-`n` instance: the 70602-node 3D torus + chords
+/// with certified λ = 6 that `tests/large_n.rs` gates (the umbrella
+/// crate cannot depend on this one, so that test re-states the
+/// constructor — keep them in sync). `bench_smoke --large` measures it
+/// and `message_gate` enforces its election message budget, so the
+/// guarded and the measured workloads cannot drift apart.
+pub fn large_n_graph() -> WeightedGraph {
+    graphs::generators::torus3d_with_chords(42, 41, 41, 300).expect("valid torus construction")
+}
+
 /// Prints a markdown table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) {
     let widths: Vec<usize> = headers

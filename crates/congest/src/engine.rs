@@ -210,14 +210,16 @@ impl<'g> Network<'g> {
             strict: self.config.strict,
             cap: self.config.effective_max_rounds(n),
             max_degree: self.max_degree,
+            parallel_inline_threshold: self.config.parallel_inline_threshold,
         };
         let t = trace_enabled().then(std::time::Instant::now);
         let (outputs, metrics) = executor.run_phase(&spec, algo, inputs)?;
         if let Some(t) = t {
             eprintln!(
-                "congest-trace: {name} rounds={} msgs={} wall_ms={:.2}",
+                "congest-trace: {name} rounds={} msgs={} bits={} wall_ms={:.2}",
                 metrics.rounds,
                 metrics.messages,
+                metrics.bits,
                 t.elapsed().as_secs_f64() * 1e3
             );
         }
@@ -324,8 +326,12 @@ mod tests {
             .run("min_flood", &MinFlood { ttl: 15 }, vec![(); n])
             .unwrap();
         for threads in [1usize, 2, 3, 8] {
+            // Threshold 0 keeps the 35-node sweeps on the real
+            // multi-worker path (the inline fallback is exercised — and
+            // trivially bit-identical — everywhere else).
             let cfg = NetworkConfig {
                 executor: ExecutorKind::Parallel { threads },
+                parallel_inline_threshold: 0,
                 ..Default::default()
             };
             let mut par = Network::new(&g, cfg).unwrap();

@@ -87,6 +87,8 @@ pub struct PhaseSpec<'a> {
     pub(crate) strict: bool,
     pub(crate) cap: u64,
     pub(crate) max_degree: usize,
+    /// See [`crate::NetworkConfig::parallel_inline_threshold`].
+    pub(crate) parallel_inline_threshold: usize,
 }
 
 impl PhaseSpec<'_> {
@@ -173,7 +175,16 @@ impl RoundExecutor for ParallelExecutor {
         // Several chunks per worker for load balance, but never so small
         // that cursor traffic dominates a sweep.
         let chunk = (spec.n / (threads * 4)).max(32);
-        drive_phase(spec, algo, inputs, &ExecMode::Parallel { threads, chunk })
+        drive_phase(
+            spec,
+            algo,
+            inputs,
+            &ExecMode::Parallel {
+                threads,
+                chunk,
+                inline_below: spec.parallel_inline_threshold,
+            },
+        )
     }
 }
 

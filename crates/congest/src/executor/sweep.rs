@@ -156,8 +156,13 @@ pub(crate) enum ExecMode {
     /// One inline pass over `0..n`.
     Serial,
     /// `threads` scoped workers claiming `chunk`-sized ranges from an
-    /// atomic cursor.
-    Parallel { threads: usize, chunk: usize },
+    /// atomic cursor; sweeps smaller than `inline_below` run inline
+    /// (see [`crate::NetworkConfig::parallel_inline_threshold`]).
+    Parallel {
+        threads: usize,
+        chunk: usize,
+        inline_below: usize,
+    },
 }
 
 /// Runs one sweep under `mode` and returns the merged stats.
@@ -170,12 +175,18 @@ pub(crate) fn execute_sweep<A: Algorithm>(
     let len = domain.len();
     match *mode {
         // A sweep that does not fill at least two chunks has nothing to
-        // parallelize: run it inline and skip the thread spawns.
-        // Identical results by construction (same per-node code,
-        // commutative stats), and it is what keeps long pipelined
-        // tails — thousands of rounds with a handful of live nodes —
-        // from paying per-round spawn costs.
-        ExecMode::Parallel { threads, chunk } if len > chunk && threads > 1 => {
+        // parallelize, and one below the configured inline threshold is
+        // too small for the per-sweep thread costs to pay off: run
+        // either inline and skip the thread spawns. Identical results by
+        // construction (same per-node code, commutative stats); this is
+        // what keeps long pipelined tails — thousands of rounds with a
+        // handful of live nodes — and small-`n` phases from paying
+        // per-round spawn costs.
+        ExecMode::Parallel {
+            threads,
+            chunk,
+            inline_below,
+        } if len > chunk && len >= inline_below && threads > 1 => {
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)

@@ -73,5 +73,5 @@ pub use engine::{Network, RunOutcome};
 pub use error::CongestError;
 pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SerialExecutor};
 pub use message::{id_bits, value_bits, Message};
-pub use metrics::{MetricsLedger, PhaseMetrics};
+pub use metrics::{MetricsLedger, PhaseGroup, PhaseMetrics};
 pub use node::{NeighborInfo, NodeCtx, Port, TreeInfo};

@@ -95,10 +95,72 @@ impl MetricsLedger {
             .sum()
     }
 
+    /// Sums the messages of phases whose name contains `needle` — the
+    /// per-phase traffic accessor the message-volume accounting (bench
+    /// rows, CI budget gate) is built on.
+    pub fn messages_matching(&self, needle: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.messages)
+            .sum()
+    }
+
+    /// Sums the delivered bits of phases whose name contains `needle`.
+    pub fn bits_matching(&self, needle: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.bits)
+            .sum()
+    }
+
+    /// Aggregates the recorded phases by label *stem* — the phase name up
+    /// to the first `'.'` (`"mstA.l3.cand"` → `"mstA"`, `"leader_bfs"` →
+    /// `"leader_bfs"`) — in order of first appearance. This is the
+    /// breakdown `bench_smoke` emits per instance and the quickest answer
+    /// to "where does the traffic go".
+    pub fn grouped_by_stem(&self) -> Vec<(String, PhaseGroup)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: std::collections::BTreeMap<&str, PhaseGroup> =
+            std::collections::BTreeMap::new();
+        for p in &self.phases {
+            let stem = p.name.split('.').next().unwrap_or(&p.name);
+            let g = groups.entry(stem).or_insert_with(|| {
+                order.push(stem.to_string());
+                PhaseGroup::default()
+            });
+            g.phases += 1;
+            g.rounds += p.rounds;
+            g.messages += p.messages;
+            g.bits += p.bits;
+        }
+        order
+            .into_iter()
+            .map(|stem| {
+                let g = groups[stem.as_str()].clone();
+                (stem, g)
+            })
+            .collect()
+    }
+
     /// Clears all recorded phases.
     pub fn reset(&mut self) {
         self.phases.clear();
     }
+}
+
+/// Totals of one phase-label stem (see [`MetricsLedger::grouped_by_stem`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseGroup {
+    /// Phases aggregated under this stem.
+    pub phases: usize,
+    /// Rounds consumed by the stem.
+    pub rounds: u64,
+    /// Messages delivered by the stem.
+    pub messages: u64,
+    /// Bits delivered by the stem.
+    pub bits: u64,
 }
 
 #[cfg(test)]
@@ -128,8 +190,35 @@ mod tests {
         assert_eq!(l.total_bits(), 1503);
         assert_eq!(l.max_message_bits(), 1000);
         assert_eq!(l.rounds_matching("a"), 11);
+        assert_eq!(l.messages_matching("a"), 102);
+        assert_eq!(l.bits_matching("b"), 500);
         assert_eq!(l.phases().len(), 3);
         l.reset();
         assert_eq!(l.total_rounds(), 0);
+    }
+
+    #[test]
+    fn grouping_by_stem_preserves_first_appearance_order() {
+        let mut l = MetricsLedger::new();
+        l.push(phase("leader_bfs", 10, 100, 1000));
+        l.push(phase("mstA.l0.exch", 1, 20, 200));
+        l.push(phase("mstA.l0.cand", 2, 30, 300));
+        l.push(phase("s4a", 4, 5, 50));
+        l.push(phase("mstA.l1.exch", 1, 10, 100));
+        let groups = l.grouped_by_stem();
+        assert_eq!(
+            groups.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>(),
+            ["leader_bfs", "mstA", "s4a"]
+        );
+        let msta = &groups[1].1;
+        assert_eq!(
+            msta,
+            &PhaseGroup {
+                phases: 3,
+                rounds: 4,
+                messages: 60,
+                bits: 600,
+            }
+        );
     }
 }

@@ -1,9 +1,15 @@
-//! Neighbor exchange: one-round swap of a value with every neighbor, and
-//! pipelined per-edge list exchange (`O(k)` rounds for lists of length `k`).
+//! Neighbor exchange: one-round swap of a value with every neighbor, its
+//! delta variant (only *changed* values are announced), and pipelined
+//! per-edge list exchange (`O(k)` rounds for lists of length `k`).
 //!
 //! The list exchange is the communication pattern of the paper's Step 5:
 //! the endpoints of every graph edge exchange their `O(√n)` ancestor lists
-//! through that edge, all edges in parallel.
+//! through that edge, all edges in parallel. The delta exchange is the
+//! echo-suppression discipline of the repeated label exchanges (fragment
+//! ids in `mstA.*`, components in `mstB.*`): a node whose label did not
+//! change since its last announcement stays silent, and receivers keep
+//! their stored per-port view — identical information flow at a fraction
+//! of the messages once the labels start converging.
 
 use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::Message;
@@ -47,6 +53,62 @@ impl<T: Message> Algorithm for NeighborExchange<T> {
     fn boot(&self, ctx: &NodeCtx<'_>, value: T) -> (NxState<T>, Outbox<T>) {
         let mut out = Outbox::new();
         out.send_all(ctx.ports(), value);
+        (
+            NxState {
+                received: vec![None; ctx.degree()],
+            },
+            out,
+        )
+    }
+
+    fn round(&self, s: &mut NxState<T>, _ctx: &NodeCtx<'_>, inbox: &[(Port, T)]) -> Step<T> {
+        for (port, msg) in inbox {
+            s.received[port.index()] = Some(msg.clone());
+        }
+        Step::halt()
+    }
+
+    fn finish(&self, s: NxState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Vec<Option<T>>> {
+        Ok(s.received)
+    }
+}
+
+/// Delta (echo-suppressed) neighbor exchange: a node with input
+/// `Some(value)` announces it to every neighbor; a node with `None`
+/// stays silent. `output[port]` is `Some(value)` exactly for the ports
+/// whose neighbor announced — callers overlay it onto their stored
+/// per-port view, which stays correct because *unchanged means
+/// unannounced*. Rounds: 1, messages: `Σ degree(announcing nodes)`.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaExchange<T> {
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> DeltaExchange<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        DeltaExchange {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Message> Algorithm for DeltaExchange<T> {
+    /// `Some(value)` to announce `value`; `None` to stay silent.
+    type Input = Option<T>;
+    type State = NxState<T>;
+    type Msg = T;
+    /// `output[port] = Some(value)` for every announcing neighbor.
+    type Output = Vec<Option<T>>;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, value: Option<T>) -> (NxState<T>, Outbox<T>) {
+        let mut out = Outbox::new();
+        if let Some(value) = value {
+            out.send_all(ctx.ports(), value);
+        }
         (
             NxState {
                 received: vec![None; ctx.degree()],
@@ -207,6 +269,38 @@ mod tests {
             }
         }
         assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn delta_exchange_only_announcers_are_heard() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        // Only even nodes announce.
+        let inputs: Vec<Option<u64>> = (0..6u64)
+            .map(|v| v.is_multiple_of(2).then_some(v * 7))
+            .collect();
+        let out = net.run("dx", &DeltaExchange::new(), inputs).unwrap();
+        for v in 0..6usize {
+            for (p, got) in out.outputs[v].iter().enumerate() {
+                let u = g.neighbors(graphs::NodeId::from_index(v))[p].neighbor;
+                let want = u.raw().is_multiple_of(2).then_some(u.raw() as u64 * 7);
+                assert_eq!(*got, want, "node {v} port {p}");
+            }
+        }
+        // 3 announcers × degree 2 = 6 messages, half the full exchange.
+        assert_eq!(out.metrics.messages, 6);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn delta_exchange_all_silent_is_free() {
+        let g = generators::path(5).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let out = net
+            .run("dx0", &DeltaExchange::<u64>::new(), vec![None; 5])
+            .unwrap();
+        assert!(out.outputs.iter().all(|o| o.iter().all(Option::is_none)));
+        assert_eq!(out.metrics.messages, 0);
     }
 
     #[test]

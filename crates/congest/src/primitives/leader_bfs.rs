@@ -1,29 +1,37 @@
 //! Leader election fused with BFS-tree construction.
 //!
-//! Every node floods the smallest identifier it has seen ("probe"); the
+//! [`LeaderBfs`] is a thin compatibility wrapper over the unified
+//! election engine in [`crate::primitives::staged_election`]: the same
+//! phase name, input, and [`LeaderBfsOutput`] as always, with the
+//! **staged** protocol (local-minima candidacy, radius-doubling fronts)
+//! as the default and the legacy every-node flood available behind
+//! [`LeaderBfs::legacy`] for parity testing and ablation.
+//!
+//! Protocol sketch (see the staged-election module docs for the full
+//! story): candidates flood the smallest identifier they have seen; the
 //! flood of the global minimum wins. The first port a node hears the
-//! eventual leader from becomes its parent (ties broken toward the smallest
-//! port), which yields a true BFS tree because the flood advances one hop
-//! per round. Termination uses the classic echo: a node acknowledges to its
-//! parent once all of its other ports are resolved (each non-parent port is
-//! resolved by receiving either the same leader's probe — a crossing, the
-//! neighbor is not our child — or an ack — the neighbor is our child). When
-//! the root's echo completes, the whole network has joined its tree, and a
-//! "done" wave flushed down tree edges halts everyone.
+//! eventual leader from becomes its parent (ties broken toward the
+//! smallest port), which yields a true BFS tree because the winning
+//! flood advances one hop per released round. Termination uses the
+//! classic echo: a node acknowledges to its parent once all of its other
+//! ports are resolved, and only the global minimum's echo can complete —
+//! a region that elects a *local* minimum can never resolve its ports
+//! toward the nodes that know a smaller identifier. The root's completed
+//! echo triggers a "done" wave that halts everyone.
 //!
-//! Round complexity `O(D)`; every message is `O(log n)` bits.
-//!
-//! A region that elects a *local* minimum can never complete its echo: the
-//! true minimum ignores larger probes and never acknowledges, so its port
-//! stays unresolved. Only the global minimum's echo completes — that is the
-//! correctness argument for the done wave.
+//! Round complexity `O(D)` for both protocols (the staged schedule's
+//! windows sum geometrically); every message is `O(log n)` bits. The
+//! staged protocol cuts *message* volume by an order of magnitude on
+//! identifier layouts with few local minima — see `docs/elections.md`
+//! for measurements.
 
 use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use crate::message::{value_bits, Message, TAG_BITS};
 use crate::node::{NodeCtx, Port, TreeInfo};
+use crate::primitives::staged_election::{ElectionState, StagedElection};
 use graphs::NodeId;
 
-/// Messages of the leader/BFS phase.
+/// Messages of the leader/BFS phase (shared by both protocols).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LeaderMsg {
     /// "My current leader is `leader`, at distance `depth` from me."
@@ -67,185 +75,70 @@ pub struct LeaderBfsOutput {
     pub tree: TreeInfo,
 }
 
+/// Which election protocol a [`LeaderBfs`] phase runs. The two produce
+/// bit-identical outputs (leader, parent, depth, children — see the
+/// election parity suite); they differ only in message volume and round
+/// constants.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Election {
+    /// Staged: local-minima candidates, radius-doubling fronts (default).
+    #[default]
+    Staged,
+    /// Legacy: every node floods, fronts unthrottled.
+    Legacy,
+}
+
 /// The leader-election + BFS-tree phase. See module docs.
-#[derive(Clone, Debug, Default)]
-pub struct LeaderBfs;
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LeaderBfs {
+    inner: StagedElection,
+}
 
 impl LeaderBfs {
-    /// Creates the phase object.
+    /// The default (staged) election.
     pub fn new() -> Self {
-        LeaderBfs
-    }
-}
-
-/// Node state for [`LeaderBfs`].
-#[derive(Debug)]
-pub struct LeaderState {
-    best: u32,
-    depth: u32,
-    parent: Option<Port>,
-    /// Per-port resolution for the current `best`.
-    resolved: Vec<bool>,
-    /// Ports that acked us as their parent (our children).
-    children: Vec<bool>,
-    /// We must send probes for `best` on all non-parent ports next round.
-    probe_pending: bool,
-    acked: bool,
-}
-
-impl LeaderState {
-    fn adopt(&mut self, leader: u32, depth: u32, via: Port, degree: usize) {
-        self.best = leader;
-        self.depth = depth;
-        self.parent = Some(via);
-        self.resolved = vec![false; degree];
-        self.resolved[via.index()] = true;
-        self.children = vec![false; degree];
-        self.probe_pending = true;
-        self.acked = false;
+        LeaderBfs {
+            inner: StagedElection::new(),
+        }
     }
 
-    fn all_resolved(&self) -> bool {
-        self.resolved.iter().all(|&r| r)
+    /// The legacy every-node flood election.
+    pub fn legacy() -> Self {
+        LeaderBfs {
+            inner: StagedElection::legacy(),
+        }
+    }
+
+    /// The phase for a named protocol (config-level selection).
+    pub fn with_election(election: Election) -> Self {
+        match election {
+            Election::Staged => Self::new(),
+            Election::Legacy => Self::legacy(),
+        }
     }
 }
 
 impl Algorithm for LeaderBfs {
     type Input = ();
-    type State = LeaderState;
+    type State = ElectionState;
     type Msg = LeaderMsg;
     type Output = LeaderBfsOutput;
 
-    fn boot(&self, ctx: &NodeCtx<'_>, _input: ()) -> (LeaderState, Outbox<LeaderMsg>) {
-        let deg = ctx.degree();
-        let state = LeaderState {
-            best: ctx.node.raw(),
-            depth: 0,
-            parent: None,
-            resolved: vec![false; deg],
-            children: vec![false; deg],
-            probe_pending: false,
-            acked: false,
-        };
-        let mut out = Outbox::new();
-        out.send_all(
-            ctx.ports(),
-            LeaderMsg::Probe {
-                leader: ctx.node.raw(),
-                depth: 0,
-            },
-        );
-        (state, out)
+    fn boot(&self, ctx: &NodeCtx<'_>, input: ()) -> (ElectionState, Outbox<LeaderMsg>) {
+        self.inner.boot(ctx, input)
     }
 
     fn round(
         &self,
-        s: &mut LeaderState,
+        s: &mut ElectionState,
         ctx: &NodeCtx<'_>,
         inbox: &[(Port, LeaderMsg)],
     ) -> Step<LeaderMsg> {
-        let deg = ctx.degree();
-        let mut done: Option<u32> = None;
-        // Phase 1: adopt the best probe in this inbox, if it improves.
-        let mut best_new: Option<(u32, u32, Port)> = None;
-        for (port, msg) in inbox {
-            if let LeaderMsg::Probe { leader, depth } = msg {
-                if *leader < s.best {
-                    let cand = (*leader, *depth, *port);
-                    best_new = Some(match best_new {
-                        // Prefer the smaller leader; among equal leaders the
-                        // smaller depth, then the smaller port.
-                        Some(prev) if prev <= cand => prev,
-                        _ => cand,
-                    });
-                }
-            }
-        }
-        if let Some((leader, depth, port)) = best_new {
-            s.adopt(leader, depth + 1, port, deg);
-        }
-        // Phase 2: resolutions for the current leader.
-        for (port, msg) in inbox {
-            match msg {
-                LeaderMsg::Probe { leader, .. } => {
-                    if *leader == s.best && Some(*port) != s.parent {
-                        s.resolved[port.index()] = true;
-                    }
-                    // leader > best: ignore (they will adopt us later);
-                    // leader < best handled in phase 1 (parent port already
-                    // marked resolved by adopt).
-                }
-                LeaderMsg::Ack { leader } => {
-                    if *leader == s.best {
-                        s.resolved[port.index()] = true;
-                        s.children[port.index()] = true;
-                    }
-                }
-                LeaderMsg::Done { leader } => {
-                    debug_assert_eq!(*leader, s.best, "done wave carries the winner");
-                    done = Some(*leader);
-                }
-            }
-        }
-
-        let mut out = Outbox::new();
-        // Done wave: forward to children and halt.
-        if let Some(leader) = done {
-            for p in ctx.ports() {
-                if s.children[p.index()] {
-                    out.send(p, LeaderMsg::Done { leader });
-                }
-            }
-            return Step::Halt(out);
-        }
-        // Probes for a freshly adopted leader.
-        if s.probe_pending {
-            s.probe_pending = false;
-            for p in ctx.ports() {
-                if Some(p) != s.parent {
-                    out.send(
-                        p,
-                        LeaderMsg::Probe {
-                            leader: s.best,
-                            depth: s.depth,
-                        },
-                    );
-                }
-            }
-        }
-        // Echo: ack the parent once everything else is resolved.
-        if s.all_resolved() && !s.acked {
-            match s.parent {
-                Some(p) => {
-                    s.acked = true;
-                    out.send(p, LeaderMsg::Ack { leader: s.best });
-                }
-                None => {
-                    // We are the root and our echo completed: we are the
-                    // global minimum. Fire the done wave and halt.
-                    debug_assert_eq!(s.best, ctx.node.raw());
-                    for p in ctx.ports() {
-                        if s.children[p.index()] {
-                            out.send(p, LeaderMsg::Done { leader: s.best });
-                        }
-                    }
-                    return Step::Halt(out);
-                }
-            }
-        }
-        Step::Continue(out)
+        self.inner.round(s, ctx, inbox)
     }
 
-    fn finish(&self, s: LeaderState, ctx: &NodeCtx<'_>) -> FinishResult<LeaderBfsOutput> {
-        let children: Vec<Port> = ctx.ports().filter(|p| s.children[p.index()]).collect();
-        Ok(LeaderBfsOutput {
-            leader: NodeId::new(s.best),
-            tree: TreeInfo {
-                parent: s.parent,
-                children,
-                depth: s.depth,
-            },
-        })
+    fn finish(&self, s: ElectionState, ctx: &NodeCtx<'_>) -> FinishResult<LeaderBfsOutput> {
+        self.inner.finish(s, ctx)
     }
 }
 
@@ -257,12 +150,12 @@ mod tests {
     use graphs::generators;
     use graphs::WeightedGraph;
 
-    fn run_leader(g: &WeightedGraph) -> (Vec<LeaderBfsOutput>, u64) {
+    fn run_leader(g: &WeightedGraph, algo: &LeaderBfs) -> (Vec<LeaderBfsOutput>, u64, u64) {
         let mut net = Network::new(g, NetworkConfig::default()).unwrap();
         let out = net
-            .run("leader_bfs", &LeaderBfs::new(), vec![(); g.node_count()])
+            .run("leader_bfs", algo, vec![(); g.node_count()])
             .expect("leader election succeeds");
-        (out.outputs, out.metrics.rounds)
+        (out.outputs, out.metrics.rounds, out.metrics.messages)
     }
 
     fn check_bfs_tree(g: &WeightedGraph, outs: &[LeaderBfsOutput]) {
@@ -296,13 +189,27 @@ mod tests {
         assert_eq!(child_count, n - 1, "tree has n-1 edges");
     }
 
+    /// Both protocols on every test topology: identical outputs, valid
+    /// BFS trees.
+    fn check_both(g: &WeightedGraph) -> (u64, u64) {
+        let (staged, _, staged_msgs) = run_leader(g, &LeaderBfs::new());
+        check_bfs_tree(g, &staged);
+        let (legacy, _, legacy_msgs) = run_leader(g, &LeaderBfs::legacy());
+        assert_eq!(staged, legacy, "protocols must agree bit for bit");
+        (staged_msgs, legacy_msgs)
+    }
+
     #[test]
     fn elects_on_path() {
         let g = generators::path(12).unwrap();
-        let (outs, rounds) = run_leader(&g);
+        let (outs, rounds, _) = run_leader(&g, &LeaderBfs::new());
         check_bfs_tree(&g, &outs);
-        // Path diameter 11; flood + echo + done ≈ 3D.
-        assert!(rounds <= 3 * 11 + 6, "rounds = {rounds}");
+        // Path diameter 11; staged: stage windows + echo + done ≈ 6D.
+        assert!(rounds <= 6 * 11 + 12, "rounds = {rounds}");
+        let (_, legacy_rounds, _) = run_leader(&g, &LeaderBfs::legacy());
+        // Legacy: flood + echo + done ≈ 3D.
+        assert!(legacy_rounds <= 3 * 11 + 6, "rounds = {legacy_rounds}");
+        check_both(&g);
     }
 
     #[test]
@@ -311,10 +218,11 @@ mod tests {
             generators::grid2d(5, 7).unwrap(),
             generators::torus2d(4, 4).unwrap(),
         ] {
-            let (outs, rounds) = run_leader(&g);
+            let (outs, rounds, _) = run_leader(&g, &LeaderBfs::new());
             check_bfs_tree(&g, &outs);
             let d = graphs::traversal::exact_diameter(&g) as u64;
-            assert!(rounds <= 3 * d + 8, "rounds = {rounds}, D = {d}");
+            assert!(rounds <= 6 * d + 16, "rounds = {rounds}, D = {d}");
+            check_both(&g);
         }
     }
 
@@ -324,26 +232,31 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for n in [2usize, 3, 10, 50, 120] {
             let g = generators::erdos_renyi_connected(n, 0.08, &mut rng).unwrap();
-            let (outs, _) = run_leader(&g);
-            check_bfs_tree(&g, &outs);
+            check_both(&g);
         }
     }
 
     #[test]
     fn single_node_network() {
         let g = WeightedGraph::from_edges(1, []).unwrap();
-        let (outs, rounds) = run_leader(&g);
-        assert_eq!(outs[0].leader, NodeId::new(0));
-        assert!(outs[0].tree.is_root());
-        assert!(rounds <= 2);
+        for algo in [LeaderBfs::new(), LeaderBfs::legacy()] {
+            let (outs, rounds, _) = run_leader(&g, &algo);
+            assert_eq!(outs[0].leader, NodeId::new(0));
+            assert!(outs[0].tree.is_root());
+            assert!(rounds <= 2);
+        }
     }
 
     #[test]
     fn rounds_scale_with_diameter_not_n() {
-        // A star has D = 2 regardless of n: rounds must stay constant-ish.
+        // A star has D = 2 regardless of n: rounds must stay constant-ish
+        // under both protocols (the staged schedule releases radius 2 in
+        // its second stage).
         let g = generators::star(200).unwrap();
-        let (_, rounds) = run_leader(&g);
+        let (_, rounds, _) = run_leader(&g, &LeaderBfs::new());
         assert!(rounds <= 12, "rounds = {rounds} on a star");
+        let (_, legacy_rounds, _) = run_leader(&g, &LeaderBfs::legacy());
+        assert!(legacy_rounds <= 12, "rounds = {legacy_rounds} on a star");
     }
 
     #[test]
@@ -354,5 +267,21 @@ mod tests {
             .run("leader_bfs", &LeaderBfs::new(), vec![(); 36])
             .unwrap();
         assert!(out.metrics.max_message_bits <= net.bandwidth_bits());
+    }
+
+    /// The staged election's whole point: on a row-major torus (one local
+    /// minimum) it moves a small multiple of `m` messages while the
+    /// legacy flood re-floods every prefix minimum.
+    #[test]
+    fn staged_cuts_messages_on_torus() {
+        let g = generators::torus2d(12, 12).unwrap();
+        let (staged_msgs, legacy_msgs) = check_both(&g);
+        assert!(
+            staged_msgs * 3 <= legacy_msgs,
+            "staged {staged_msgs} vs legacy {legacy_msgs}"
+        );
+        // One wave + echo + done: ≤ ~4 messages per edge direction.
+        let m2 = 2 * g.edge_count() as u64;
+        assert!(staged_msgs <= 2 * m2, "staged {staged_msgs} on 2m = {m2}");
     }
 }

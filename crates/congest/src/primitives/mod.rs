@@ -1,7 +1,11 @@
 //! Standard CONGEST building blocks.
 //!
 //! * [`leader_bfs`] — minimum-id leader election fused with BFS-tree
-//!   construction and echo-based termination: `O(D)` rounds.
+//!   construction and echo-based termination: `O(D)` rounds. A thin
+//!   wrapper over [`staged_election`], which owns the protocol engine.
+//! * [`staged_election`] — the unified election engine: legacy flood and
+//!   the message-frugal staged election (local-minima candidacy +
+//!   radius-doubling fronts) as two knob settings of one protocol.
 //! * [`convergecast`] — aggregate one value per node up a tree/forest
 //!   (`O(height)` rounds).
 //! * [`broadcast`] — one item, or a pipelined stream of `k` items, from each
@@ -15,8 +19,9 @@
 //!   key order on the way up (`O(k + height)` rounds).
 //! * [`grouped_min`] — pipelined grouped argmin under the same pipelining
 //!   bound (the Borůvka-over-BFS aggregation of the distributed MST).
-//! * [`exchange`] — one-round neighbor exchange, and pipelined per-edge list
-//!   exchange (`O(k)` rounds).
+//! * [`exchange`] — one-round neighbor exchange (full and delta: only
+//!   changed values are announced), and pipelined per-edge list exchange
+//!   (`O(k)` rounds).
 //!
 //! All tree primitives take a [`crate::TreeInfo`] per node and work on
 //! *forests*: a "root" is any node with `parent == None`, and disjoint trees
@@ -31,15 +36,18 @@ pub mod grouped;
 pub mod grouped_min;
 pub mod leader_bfs;
 pub mod merge;
+pub mod staged_election;
 pub mod subtree;
 pub mod upcast;
 
 pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
+pub use exchange::DeltaExchange;
 pub use exchange::{EdgeListExchange, NeighborExchange};
 pub use grouped::{GroupedSum, KeyedSum, SumMonoid};
 pub use grouped_min::{BestMonoid, GroupedBest, KeyedItem, KeyedMin};
-pub use leader_bfs::{LeaderBfs, LeaderBfsOutput};
+pub use leader_bfs::{Election, LeaderBfs, LeaderBfsOutput};
 pub use merge::{KeyedMonoid, KeyedStreamReduce};
+pub use staged_election::{Candidacy, Schedule, StagedElection};
 pub use subtree::{KeyedSubtreeSum, SubtreeSums};
 pub use upcast::UpcastItems;

@@ -1,0 +1,133 @@
+//! Election parity: the staged election (local-minima candidacy,
+//! radius-doubling fronts) must produce **bit-identical outputs** to the
+//! legacy every-node flood — same leader, same parent port, same depth,
+//! same children at every node — on every topology, under both round
+//! executors. The depth must additionally equal the true BFS distance
+//! (the staged schedule releases the winning front in lockstep, so the
+//! wave still advances one hop per released round).
+//!
+//! Strict mode is on throughout, so any protocol violation the staged
+//! schedule could introduce (a probe or ack reaching a halted node, a
+//! front outrunning its stage) would fail the run itself, not just the
+//! assertions.
+
+use congest::primitives::leader_bfs::{LeaderBfs, LeaderBfsOutput};
+use congest::{ExecutorKind, Network, NetworkConfig};
+use graphs::{generators, NodeId, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One graph from the three stress families, keyed by `family % 3`
+/// (mirrors the executor parity suite).
+fn make_graph(family: u8, seed: u64, size: usize) -> WeightedGraph {
+    match family % 3 {
+        // Random tree: node i attaches to a uniform ancestor — deep
+        // BFS trees, many local minima among the leaves.
+        0 => {
+            let n = size.max(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges: Vec<(u32, u32, u64)> = (1..n)
+                .map(|i| {
+                    let parent = rng.gen_range(0..i) as u32;
+                    (parent, i as u32, 1 + (seed + i as u64) % 7)
+                })
+                .collect();
+            WeightedGraph::from_edges(n, edges).expect("valid tree")
+        }
+        // Torus: uniform degree 4, wrap-around routing, one local
+        // minimum under row-major ids.
+        1 => {
+            let side = 3 + size % 5;
+            generators::torus2d(side, side).expect("valid torus")
+        }
+        // Clique: diameter 1, every probe is a crossing.
+        _ => generators::complete(3 + size % 6, 1 + seed % 5).expect("valid clique"),
+    }
+}
+
+fn run_election(g: &WeightedGraph, algo: &LeaderBfs, kind: ExecutorKind) -> Vec<LeaderBfsOutput> {
+    let cfg = NetworkConfig {
+        executor: kind,
+        parallel_inline_threshold: 0,
+        ..Default::default()
+    };
+    let mut net = Network::new(g, cfg).expect("valid topology");
+    net.run("leader_bfs", algo, vec![(); g.node_count()])
+        .expect("election succeeds in strict mode")
+        .outputs
+}
+
+/// The outputs describe the leader-0 BFS tree: depths are true BFS
+/// distances, parents are one level up, children lists mirror parents.
+fn check_bfs_tree(g: &WeightedGraph, outs: &[LeaderBfsOutput]) {
+    let dist = graphs::traversal::bfs(g, NodeId::new(0)).dist;
+    for (v, o) in outs.iter().enumerate() {
+        assert_eq!(o.leader, NodeId::new(0), "node {v} elected {:?}", o.leader);
+        assert_eq!(o.tree.depth, dist[v], "node {v} depth ≠ BFS distance");
+        match o.tree.parent {
+            None => assert_eq!(v, 0, "only the leader is a root"),
+            Some(p) => {
+                let parent = g.neighbors(NodeId::from_index(v))[p.index()].neighbor;
+                assert_eq!(dist[parent.index()] + 1, dist[v], "node {v} parent level");
+            }
+        }
+    }
+    let children: usize = outs.iter().map(|o| o.tree.children.len()).sum();
+    assert_eq!(children, g.node_count() - 1, "tree has n − 1 edges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Staged ≡ legacy, node by node, field by field — and both valid —
+    /// under the serial and the parallel executor.
+    #[test]
+    fn staged_equals_legacy_everywhere(family in 0u8..3, seed in 0u64..1000, size in 2usize..40) {
+        let g = make_graph(family, seed, size);
+        let legacy = run_election(&g, &LeaderBfs::legacy(), ExecutorKind::Serial);
+        check_bfs_tree(&g, &legacy);
+        for kind in [ExecutorKind::Serial, ExecutorKind::Parallel { threads: 3 }] {
+            let staged = run_election(&g, &LeaderBfs::new(), kind);
+            prop_assert_eq!(&staged, &legacy, "executor {:?}", kind);
+        }
+    }
+}
+
+/// Random weighted graphs (not from the three families): denser, with
+/// shortcut edges that give equal-depth parent candidates — the
+/// tie-break territory.
+#[test]
+fn staged_equals_legacy_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [2usize, 5, 17, 40, 90] {
+        for p in [0.06, 0.2, 0.6] {
+            let g = generators::erdos_renyi_connected(n, p, &mut rng).unwrap();
+            let legacy = run_election(&g, &LeaderBfs::legacy(), ExecutorKind::Serial);
+            let staged = run_election(&g, &LeaderBfs::new(), ExecutorKind::Serial);
+            assert_eq!(staged, legacy, "n = {n}, p = {p}");
+            check_bfs_tree(&g, &staged);
+        }
+    }
+}
+
+/// The acceptance criterion of the staged election, measured where the
+/// ROADMAP recorded the problem: ≥ 5× fewer `leader_bfs` messages on
+/// the 24×24 torus, with bit-identical outputs (asserted above).
+#[test]
+fn staged_cuts_torus24_messages_five_fold() {
+    let g = generators::torus2d(24, 24).unwrap();
+    let count = |algo: &LeaderBfs| {
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        net.run("leader_bfs", algo, vec![(); g.node_count()])
+            .unwrap()
+            .metrics
+            .messages
+    };
+    let legacy = count(&LeaderBfs::legacy());
+    let staged = count(&LeaderBfs::new());
+    assert!(
+        staged * 5 <= legacy,
+        "staged {staged} vs legacy {legacy}: less than a 5× cut"
+    );
+}

@@ -111,8 +111,12 @@ fn run_with<A: Algorithm>(
     algo: &A,
     inputs: Vec<A::Input>,
 ) -> RunOutcome<A::Output> {
+    // Threshold 0: always exercise the multi-worker machinery, even on
+    // the small proptest graphs (the adaptive inline fallback would
+    // otherwise — correctly but uninterestingly — serialize them).
     let cfg = NetworkConfig {
         executor: kind,
+        parallel_inline_threshold: 0,
         ..Default::default()
     };
     let mut net = Network::new(g, cfg).expect("valid topology");
@@ -168,7 +172,11 @@ proptest! {
         let lists = keyed_inputs(n, seed);
 
         let run_session = |kind: ExecutorKind| {
-            let cfg = NetworkConfig { executor: kind, ..Default::default() };
+            let cfg = NetworkConfig {
+                executor: kind,
+                parallel_inline_threshold: 0,
+                ..Default::default()
+            };
             let mut net = Network::new(&g, cfg).expect("valid topology");
             let bfs = net
                 .run("leader_bfs", &LeaderBfs::new(), vec![(); n])
@@ -261,6 +269,7 @@ fn strict_error_parity_picks_the_lowest_node_across_chunks() {
     .map(|kind| {
         let cfg = NetworkConfig {
             executor: kind,
+            parallel_inline_threshold: 0,
             ..Default::default()
         };
         let mut net = Network::new(&g, cfg).unwrap();

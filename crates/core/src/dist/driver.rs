@@ -27,10 +27,11 @@ use crate::dist::packing::{better, Cand, PackingTarget};
 use crate::seq::tree_packing::PackingConfig;
 use crate::MinCutError;
 use congest::primitives::convergecast::{Convergecast, MinPair, SumU64};
-use congest::primitives::leader_bfs::LeaderBfs;
+use congest::primitives::leader_bfs::{Election, LeaderBfs};
 use congest::primitives::subtree::SubtreeSums;
 use congest::primitives::{
-    Broadcast, BroadcastItems, GroupedBest, GroupedSum, NeighborExchange, UpcastItems,
+    Broadcast, BroadcastItems, DeltaExchange, GroupedBest, GroupedSum, NeighborExchange,
+    UpcastItems,
 };
 use congest::{ExecutorKind, MetricsLedger, Network, NetworkConfig, Port, TreeInfo};
 use graphs::{CutResult, NodeId, WeightedGraph};
@@ -50,6 +51,11 @@ pub struct ExactConfig {
     pub packing: PackingConfig,
     /// Distributed MST stage knobs (fragment cap, coin seed).
     pub mst: MstConfig,
+    /// Which leader-election protocol opens the pipeline. The staged
+    /// election (default) and the legacy flood produce bit-identical
+    /// leaders, BFS trees, and downstream cuts (election parity suite);
+    /// the staged one moves an order of magnitude fewer messages.
+    pub election: Election,
 }
 
 impl ExactConfig {
@@ -112,6 +118,7 @@ pub fn exact_mincut(
             mst: config.mst.clone(),
             target: PackingTarget::TrackBest(config.packing.clone()),
             sample: None,
+            election: config.election,
         },
     )?;
     Ok(DistMinCutResult {
@@ -142,6 +149,8 @@ pub(crate) struct PipelineOpts {
     /// probability `p` (shared coins keyed by `(seed, edge id)`); cuts
     /// are always *evaluated* with the original weights.
     pub sample: Option<(f64, u64)>,
+    /// Leader-election protocol (see [`ExactConfig::election`]).
+    pub election: Election,
 }
 
 /// Outcome of one pipeline run.
@@ -178,6 +187,11 @@ struct NodeMem {
     port_frag: Vec<u32>,
     port_frozen: Vec<bool>,
     port_comp: Vec<u32>,
+    /// Last `(frag, frozen)` announced to the neighbors (mstA delta
+    /// exchange); `None` before the first announcement of a tree.
+    ann_frag: Option<FragMsg>,
+    /// Last `(comp, frag)` announced (mstB delta exchange).
+    ann_comp: Option<CompMsg>,
     tf: Vec<TfRec>,
     iv: Option<Intervals>,
     att: BTreeMap<u32, u32>,
@@ -244,11 +258,16 @@ impl<'g> Pipeline<'g> {
         g: &'g WeightedGraph,
         network: NetworkConfig,
         mst: MstConfig,
+        election: Election,
         pack_edge: &[u64],
     ) -> Result<Self, MinCutError> {
         let n = g.node_count();
         let mut net = Network::new(g, network).map_err(MinCutError::from)?;
-        let bfs = net.run("leader_bfs", &LeaderBfs::new(), vec![(); n])?;
+        let bfs = net.run(
+            "leader_bfs",
+            &LeaderBfs::with_election(election),
+            vec![(); n],
+        )?;
         let leader = bfs.outputs[0].leader;
         let mems = g
             .nodes()
@@ -304,6 +323,8 @@ impl<'g> Pipeline<'g> {
             m.port_frag = vec![0; deg];
             m.port_frozen = vec![false; deg];
             m.port_comp = vec![0; deg];
+            m.ann_frag = None;
+            m.ann_comp = None;
             m.tf.clear();
             m.iv = None;
             m.att.clear();
@@ -347,26 +368,38 @@ impl<'g> Pipeline<'g> {
             if frags.len() == 1 || self.mems.iter().all(|m| m.frozen) {
                 return Ok(());
             }
-            // Exchange fragment ids + frozen flags.
+            // Exchange fragment ids + frozen flags — delta discipline:
+            // a node re-announces only when its (frag, frozen) changed
+            // since its last announcement, and receivers keep their
+            // stored per-port view otherwise. Level 0 announces
+            // everywhere (nothing announced yet), so the view is always
+            // complete; afterwards only freshly hooked or frozen
+            // fragments speak, which is what keeps converged regions
+            // silent.
             let name = format!("mstA.l{level}.exch");
-            let out = self.net.run(
-                &name,
-                &NeighborExchange::new(),
-                self.mems
-                    .iter()
-                    .map(|m| FragMsg {
+            let inputs: Vec<Option<FragMsg>> = self
+                .mems
+                .iter()
+                .map(|m| {
+                    let cur = FragMsg {
                         frag: m.frag,
                         frozen: m.frozen,
-                    })
-                    .collect(),
-            )?;
+                    };
+                    (m.ann_frag != Some(cur)).then_some(cur)
+                })
+                .collect();
+            let out = self.net.run(&name, &DeltaExchange::new(), inputs)?;
             for (m, o) in self.mems.iter_mut().zip(out.outputs) {
-                let msgs: Vec<FragMsg> = o
-                    .into_iter()
-                    .map(|x| x.expect("every neighbor sends"))
-                    .collect();
-                m.port_frag = msgs.iter().map(|f| f.frag).collect();
-                m.port_frozen = msgs.iter().map(|f| f.frozen).collect();
+                m.ann_frag = Some(FragMsg {
+                    frag: m.frag,
+                    frozen: m.frozen,
+                });
+                for (p, got) in o.into_iter().enumerate() {
+                    if let Some(f) = got {
+                        m.port_frag[p] = f.frag;
+                        m.port_frozen[p] = f.frozen;
+                    }
+                }
             }
             // Fragment minimum outgoing candidates + sizes (unfrozen
             // fragments only).
@@ -501,26 +534,35 @@ impl<'g> Pipeline<'g> {
         }
         let mut iter = 0usize;
         loop {
-            // Exchange (component, fragment) labels.
+            // Exchange (component, fragment) labels — same delta
+            // discipline as `mstA.*.exch`: iteration 0 announces
+            // everywhere (and thereby refreshes the port fragment view
+            // with the final phase-A fragments); afterwards only nodes
+            // whose component was remapped speak.
             let name = format!("mstB.i{iter}.exch");
-            let out = self.net.run(
-                &name,
-                &NeighborExchange::new(),
-                self.mems
-                    .iter()
-                    .map(|m| CompMsg {
+            let inputs: Vec<Option<CompMsg>> = self
+                .mems
+                .iter()
+                .map(|m| {
+                    let cur = CompMsg {
                         comp: m.comp,
                         frag: m.frag,
-                    })
-                    .collect(),
-            )?;
+                    };
+                    (m.ann_comp != Some(cur)).then_some(cur)
+                })
+                .collect();
+            let out = self.net.run(&name, &DeltaExchange::new(), inputs)?;
             for (m, o) in self.mems.iter_mut().zip(out.outputs) {
-                let pairs: Vec<CompMsg> = o
-                    .into_iter()
-                    .map(|x| x.expect("every neighbor sends"))
-                    .collect();
-                m.port_comp = pairs.iter().map(|c| c.comp).collect();
-                m.port_frag = pairs.iter().map(|c| c.frag).collect();
+                m.ann_comp = Some(CompMsg {
+                    comp: m.comp,
+                    frag: m.frag,
+                });
+                for (p, got) in o.into_iter().enumerate() {
+                    if let Some(c) = got {
+                        m.port_comp[p] = c.comp;
+                        m.port_frag[p] = c.frag;
+                    }
+                }
             }
             // Per-component minimum outgoing candidates to the leader.
             let inputs: Vec<(TreeInfo, Vec<BorCand>)> = (0..self.n)
@@ -764,24 +806,24 @@ impl<'g> Pipeline<'g> {
         for (m, list) in self.mems.iter_mut().zip(down) {
             m.att = list.into_iter().map(|a| (a.node, a.in_t)).collect();
         }
-        // s3: per-edge exchange of (fragment, in-time).
+        // s3: per-edge exchange of in-times (fragments are already known
+        // per port from the mstB delta exchanges).
         let out = self.net.run(
             "s3",
             &NeighborExchange::new(),
             self.mems
                 .iter()
                 .map(|m| NbMsg {
-                    frag: m.frag,
                     in_t: m.iv.as_ref().expect("intervals set").in_t as u32,
                 })
                 .collect(),
         )?;
-        let nb: Vec<Vec<NbMsg>> = out
+        let nb: Vec<Vec<u32>> = out
             .outputs
             .into_iter()
             .map(|o| {
                 o.into_iter()
-                    .map(|x| x.expect("every neighbor sends"))
+                    .map(|x| x.expect("every neighbor sends").in_t)
                     .collect()
             })
             .collect();
@@ -831,24 +873,25 @@ impl<'g> Pipeline<'g> {
             let iv = m.iv.as_ref().expect("intervals set");
             let my_chain = &chains[&m.frag];
             let mut add_rho = 0u64;
-            for (p, &other) in nb[v].iter().enumerate() {
+            for (p, &other_in_t) in nb[v].iter().enumerate() {
                 let w = m.weights[p];
-                if other.frag == m.frag {
+                let other_frag = m.port_frag[p];
+                if other_frag == m.frag {
                     // Case 1 (same fragment): the deeper-in-preorder
                     // endpoint routes a token toward the LCA.
-                    if iv.in_t > other.in_t as u64 {
-                        if iv.contains(other.in_t as u64) {
+                    if iv.in_t > other_in_t as u64 {
+                        if iv.contains(other_in_t as u64) {
                             add_rho += w;
                         } else {
                             tokens[v].push(Token {
-                                t_in: other.in_t,
+                                t_in: other_in_t,
                                 w,
                             });
                         }
                     }
                     continue;
                 }
-                let their_chain = &chains[&other.frag];
+                let their_chain = &chains[&other_frag];
                 let fstar = deepest_common(my_chain, their_chain);
                 if fstar == m.frag {
                     // Case 3 with the LCA in my fragment: target the
@@ -864,7 +907,7 @@ impl<'g> Pipeline<'g> {
                             w,
                         });
                     }
-                } else if fstar != other.frag {
+                } else if fstar != other_frag {
                     // Case 2: the LCA is a merging node in a third
                     // fragment; aggregate by the attachment pair. The
                     // smaller endpoint id emits.
@@ -879,7 +922,7 @@ impl<'g> Pipeline<'g> {
                         pairs[v].push((lo as u64 * n as u64 + hi as u64, w));
                     }
                 }
-                // fstar == other.frag: the other endpoint originates.
+                // fstar == other_frag: the other endpoint originates.
             }
             self.mems[v].rho += add_rho;
         }
@@ -1195,7 +1238,13 @@ pub(crate) fn run_pipeline(
         }
     }
 
-    let mut pl = Pipeline::new(g, opts.network.clone(), opts.mst.clone(), &pack_edge)?;
+    let mut pl = Pipeline::new(
+        g,
+        opts.network.clone(),
+        opts.mst.clone(),
+        opts.election,
+        &pack_edge,
+    )?;
     let (mut best_value, singleton) = pl.init_deg()?;
     let mut best_node: Option<NodeId> = None;
     let mut trees_to_best = 0usize;
@@ -1251,6 +1300,7 @@ mod tests {
             mst: MstConfig::default(),
             target: PackingTarget::Fixed(k),
             sample: None,
+            election: Election::default(),
         }
     }
 
@@ -1274,6 +1324,7 @@ mod tests {
                 g,
                 NetworkConfig::default(),
                 MstConfig::default(),
+                Election::default(),
                 &pack_edge,
             )
             .unwrap();
@@ -1320,6 +1371,7 @@ mod tests {
                 g,
                 NetworkConfig::default(),
                 MstConfig::default(),
+                Election::default(),
                 &pack_edge,
             )
             .unwrap();

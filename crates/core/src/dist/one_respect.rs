@@ -348,19 +348,20 @@ impl Message for AttItem {
     }
 }
 
-/// The `s3` per-edge exchange payload: fragment id and in-fragment entry
-/// time of the endpoint.
+/// The `s3` per-edge exchange payload: the in-fragment entry time of the
+/// endpoint. The endpoint's *fragment* is deliberately not on the wire —
+/// every node already holds its neighbors' fragments from the `mstB.*`
+/// delta exchanges, so re-sending them would pay `⌈log₂ n⌉` bits per
+/// edge direction for information the receiver has.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NbMsg {
-    /// Sender's fragment.
-    pub frag: u32,
     /// Sender's in-fragment entry time.
     pub in_t: u32,
 }
 
 impl Message for NbMsg {
     fn bit_len(&self) -> usize {
-        TAG_BITS + value_bits(self.frag as u64) + value_bits(self.in_t as u64)
+        TAG_BITS + value_bits(self.in_t as u64)
     }
 }
 

@@ -1,0 +1,78 @@
+//! Downstream election parity: swapping the staged election for the
+//! legacy flood must not change *anything* the pipeline computes — cut
+//! value, cut side, tree counts, argmin node — because the two protocols
+//! hand the driver bit-identical BFS trees. Only the `leader_bfs` phase's
+//! message bill changes, and it must change by a lot.
+
+use mincut_repro::congest::primitives::leader_bfs::Election;
+use mincut_repro::congest::ExecutorKind;
+use mincut_repro::graphs::generators;
+use mincut_repro::mincut::dist::driver::{exact_mincut, DistMinCutResult, ExactConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(g: &mincut_repro::graphs::WeightedGraph, election: Election) -> DistMinCutResult {
+    let cfg = ExactConfig {
+        election,
+        ..Default::default()
+    };
+    exact_mincut(g, &cfg).expect("strict-mode run succeeds")
+}
+
+#[test]
+fn staged_and_legacy_elections_agree_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut cases = vec![
+        generators::cycle(12).unwrap(),
+        generators::torus2d(5, 6).unwrap(),
+        generators::clique_pair(6, 2).unwrap().graph,
+        generators::das_sarma_style(2, 8).unwrap(),
+    ];
+    let base = generators::erdos_renyi_connected(24, 0.2, &mut rng).unwrap();
+    cases.push(generators::randomize_weights(&base, 1, 5, &mut rng).unwrap());
+    for g in &cases {
+        let staged = run(g, Election::Staged);
+        let legacy = run(g, Election::Legacy);
+        assert_eq!(staged.cut.value, legacy.cut.value);
+        assert_eq!(staged.cut.side, legacy.cut.side);
+        assert_eq!(staged.trees_packed, legacy.trees_packed);
+        assert_eq!(staged.trees_to_best, legacy.trees_to_best);
+        assert_eq!(staged.best_node, legacy.best_node);
+        // Same phases ran; everything after the election is message-
+        // identical too (the BFS trees are bit-identical), so the total
+        // message gap is exactly the election's gap.
+        assert_eq!(staged.ledger.phases().len(), legacy.ledger.phases().len());
+        let staged_rest = staged.messages - staged.ledger.messages_matching("leader_bfs");
+        let legacy_rest = legacy.messages - legacy.ledger.messages_matching("leader_bfs");
+        assert_eq!(staged_rest, legacy_rest, "non-election phases must match");
+    }
+}
+
+/// The headline acceptance number, end to end: on the 24×24 torus the
+/// pipeline's `leader_bfs` phase moves ≥ 5× fewer messages under the
+/// staged election, with the identical minimum cut, under the serial
+/// *and* the parallel executor.
+#[test]
+fn torus24_leader_messages_drop_five_fold_under_both_executors() {
+    let g = generators::torus2d(24, 24).unwrap();
+    for kind in [ExecutorKind::Serial, ExecutorKind::Parallel { threads: 4 }] {
+        let mk = |election| {
+            let cfg = ExactConfig {
+                election,
+                ..Default::default()
+            }
+            .with_executor(kind);
+            exact_mincut(&g, &cfg).expect("strict-mode run succeeds")
+        };
+        let staged = mk(Election::Staged);
+        let legacy = mk(Election::Legacy);
+        assert_eq!(staged.cut.value, legacy.cut.value, "{kind:?}");
+        assert_eq!(staged.cut.side, legacy.cut.side, "{kind:?}");
+        let s = staged.ledger.messages_matching("leader_bfs");
+        let l = legacy.ledger.messages_matching("leader_bfs");
+        assert!(
+            s * 5 <= l,
+            "{kind:?}: staged leader_bfs {s} vs legacy {l}: less than 5×"
+        );
+    }
+}
