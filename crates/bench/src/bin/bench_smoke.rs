@@ -1,10 +1,13 @@
 //! CI smoke benchmark: the round/wall-time trajectory of the exact
 //! pipeline on two instance families at two sizes each — crossed with
-//! the round executor (serial vs parallel) — emitted as
+//! the round executor (serial, parallel, and the fault-injecting
+//! `congest::sim` executor under a fixed lossy plan) — emitted as
 //! `BENCH_rounds.json` so the perf history of the repository stops being
 //! empty. Rounds, messages, and cut values are executor-independent by
-//! construction (the parity suite asserts it); the per-executor rows
-//! exist to track *wall time*, which is not.
+//! construction (the parity suites assert it, faults included); the
+//! per-executor rows track *wall time* and — for the faulty rows — the
+//! α-synchronizer's round-overhead factor (`phys_rounds / rounds`),
+//! which `message_gate` budgets on torus24x24.
 //!
 //! Besides the per-run totals, every (instance, executor) pair emits
 //! **per-phase rows** (`phase_rows`): the ledger grouped by phase-label
@@ -33,14 +36,30 @@ struct Sample {
     threads: usize,
     n: usize,
     rounds: u64,
+    /// Physical transport rounds (= `rounds` for fault-free executors;
+    /// the α-synchronizer's ticks under the faulty one).
+    phys_rounds: u64,
     messages: u64,
     cut: u64,
     wall_ms: f64,
     ledger: MetricsLedger,
 }
 
-/// The executor grid every instance is measured under.
-const EXECUTORS: [(&str, ExecutorKind); 2] = [
+/// The executor grid every instance is measured under. The faulty rows
+/// (driven by the shared deterministic [`mincut_bench::SMOKE_FAULTS`]
+/// plan) track the synchronizer's overhead factor; their
+/// cut/rounds/messages are bit-identical to serial by construction
+/// (`tests/sim_parity.rs`).
+const EXECUTORS: [(&str, ExecutorKind); 3] = [
+    ("serial", ExecutorKind::Serial),
+    ("parallel", ExecutorKind::Parallel { threads: 4 }),
+    ("faulty", ExecutorKind::Faulty(mincut_bench::SMOKE_FAULTS)),
+];
+
+/// The large instance runs fault-free only: the transport simulation is
+/// `O(ticks · edges-in-flight)` and the 70602-node instance is the wall
+/// the *engine* rows regression-guard.
+const LARGE_EXECUTORS: [(&str, ExecutorKind); 2] = [
     ("serial", ExecutorKind::Serial),
     ("parallel", ExecutorKind::Parallel { threads: 4 }),
 ];
@@ -69,6 +88,7 @@ fn run(
         threads: executor.1.effective_threads(),
         n: g.node_count(),
         rounds: r.rounds,
+        phys_rounds: r.ledger.total_phys_rounds(),
         messages: r.messages,
         cut: r.cut.value,
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
@@ -91,19 +111,31 @@ fn main() {
     }
     if large {
         let g = mincut_bench::large_n_graph();
-        for executor in EXECUTORS {
+        for executor in LARGE_EXECUTORS {
             samples.push(run("large_n_torus3d", &g, 1, executor));
         }
     }
 
-    // Hand-rolled JSON (the workspace's serde is an offline stub).
+    // Hand-rolled JSON (the workspace's serde is an offline stub). The
+    // `overhead` column is the synchronizer's round-overhead factor
+    // (`phys_rounds / rounds`; 1.0 for the fault-free executors) — the
+    // tracked curve for "what does asynchrony cost the paper's bound".
     let mut json = String::from("{\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         writeln!(
             json,
-            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
-            s.instance, s.executor, s.threads, s.n, s.rounds, s.messages, s.cut, s.wall_ms
+            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
+            s.instance,
+            s.executor,
+            s.threads,
+            s.n,
+            s.rounds,
+            s.phys_rounds,
+            s.phys_rounds as f64 / s.rounds.max(1) as f64,
+            s.messages,
+            s.cut,
+            s.wall_ms
         )
         .expect("write to string");
     }
@@ -113,8 +145,9 @@ fn main() {
         .flat_map(|s| {
             s.ledger.grouped_by_stem().into_iter().map(|(stem, g)| {
                 format!(
-                    "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"phase\": \"{stem}\", \"phases\": {}, \"rounds\": {}, \"messages\": {}, \"bits\": {}}}",
-                    s.instance, s.executor, g.phases, g.rounds, g.messages, g.bits
+                    "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"phase\": \"{stem}\", \"phases\": {}, \"rounds\": {}, \"messages\": {}, \"bits\": {}, \"phys_rounds\": {}, \"dropped\": {}, \"retransmitted\": {}}}",
+                    s.instance, s.executor, g.phases, g.rounds, g.messages, g.bits,
+                    g.sim.phys_rounds, g.sim.dropped, g.sim.retransmitted
                 )
             })
         })
@@ -141,6 +174,20 @@ fn main() {
             })
             .collect();
         println!("top phases {}: {}", s.instance, top.join(", "));
+    }
+    // What asynchrony costs: overhead factor + fault tallies per
+    // faulty-executor instance.
+    for s in samples.iter().filter(|s| s.executor == "faulty") {
+        println!(
+            "sync overhead {}: {:.2}x ({} -> {} rounds, {} dropped, {} retransmitted, {} duplicated)",
+            s.instance,
+            s.ledger.sim_overhead_factor(),
+            s.rounds,
+            s.phys_rounds,
+            s.ledger.total_dropped(),
+            s.ledger.total_retransmitted(),
+            s.ledger.total_duplicated(),
+        );
     }
     println!("wrote BENCH_rounds.json ({} samples)", samples.len());
 }

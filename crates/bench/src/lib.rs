@@ -6,6 +6,20 @@ use graphs::WeightedGraph;
 use mincut::dist::driver::{exact_mincut, DistMinCutResult, ExactConfig};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
 
+/// The canonical deterministic fault plan of the CI harness: 5% drops,
+/// 2.5% duplication, delay window 2, fixed seed. `bench_smoke`'s faulty
+/// rows and `message_gate`'s synchronizer-overhead budget measure the
+/// *same* plan, so the tracked curve and the gated number cannot drift
+/// apart.
+pub const SMOKE_FAULTS: congest::sim::FaultPlan = congest::sim::FaultPlan {
+    seed: 0xBE7C4,
+    drop_per_mille: 50,
+    dup_per_mille: 25,
+    max_delay: 2,
+    resend_after: 4,
+    max_attempts: 64,
+};
+
 /// The canonical large-`n` instance: the 70602-node 3D torus + chords
 /// with certified λ = 6 that `tests/large_n.rs` gates (the umbrella
 /// crate cannot depend on this one, so that test re-states the

@@ -60,6 +60,12 @@ impl NetworkConfig {
         NetworkConfig { executor, ..self }
     }
 
+    /// This config driven by the fault-injecting executor under `plan`
+    /// (shorthand for `with_executor(ExecutorKind::Faulty(plan))`).
+    pub fn with_fault_plan(self, plan: crate::sim::FaultPlan) -> Self {
+        self.with_executor(ExecutorKind::Faulty(plan))
+    }
+
     /// The per-edge budget in bits for an `n`-node network:
     /// `β·max(⌈log₂ n⌉, 8)`.
     ///

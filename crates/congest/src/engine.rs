@@ -173,6 +173,9 @@ impl<'g> Network<'g> {
             ExecutorKind::Parallel { threads } => {
                 self.run_with(&ParallelExecutor::with_threads(threads), name, algo, inputs)
             }
+            ExecutorKind::Faulty(plan) => {
+                self.run_with(&crate::sim::FaultyExecutor::new(plan), name, algo, inputs)
+            }
         }
     }
 

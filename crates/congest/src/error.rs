@@ -79,6 +79,23 @@ pub enum CongestError {
         /// The neighbor that does not list `node` back.
         neighbor: NodeId,
     },
+    /// The α-synchronizer of the faulty executor gave up on a channel:
+    /// a payload (or a safety announcement) was transmitted
+    /// `attempts` times without acknowledgement — the adversary's drop
+    /// rate exceeded the retransmission budget of the
+    /// [`crate::sim::FaultPlan`].
+    RetransmitExhausted {
+        /// Phase in which it happened.
+        phase: String,
+        /// The sending node whose channel starved.
+        node: NodeId,
+        /// The port of the starved channel.
+        port: Port,
+        /// The virtual (algorithm) round the stuck payload belongs to.
+        round: u64,
+        /// Transmissions attempted before giving up.
+        attempts: u32,
+    },
     /// Node code reported a protocol violation from
     /// [`crate::Algorithm::finish`] (see
     /// [`crate::algorithm::ProtocolViolation`]).
@@ -137,6 +154,16 @@ impl fmt::Display for CongestError {
             CongestError::AsymmetricAdjacency { node, neighbor } => write!(
                 f,
                 "malformed graph: node {node} lists neighbor {neighbor}, but not vice versa"
+            ),
+            CongestError::RetransmitExhausted {
+                phase,
+                node,
+                port,
+                round,
+                attempts,
+            } => write!(
+                f,
+                "phase {phase:?} round {round}: node {node} gave up on {port} after {attempts} transmissions (retransmission budget exhausted)"
             ),
             CongestError::Protocol {
                 phase,

@@ -17,13 +17,15 @@
 //! the full min-cut pipeline.
 //!
 //! This trait is also the crate's extension seam:
-//! [`crate::Network::run_with`] accepts any `RoundExecutor`, so a future
-//! α-synchronizer or fault-injection layer is one more implementation —
-//! landing in this module, next to the sweep machinery it perturbs —
-//! without touching the engine dispatch or any algorithm. (External
-//! crates can wrap and delegate to the shipped executors; implementing
-//! a from-scratch executor requires this module's `pub(crate)` sweep
-//! internals by design.)
+//! [`crate::Network::run_with`] accepts any `RoundExecutor`. The
+//! α-synchronizer / fault-injection layer
+//! ([`crate::sim::FaultyExecutor`], selected by [`ExecutorKind::Faulty`])
+//! is exactly such an implementation: a from-scratch simulation loop
+//! that perturbs *delivery timing* rather than sweep scheduling, and
+//! therefore shares the geometry of [`PhaseSpec`] but none of the sweep
+//! machinery. (External crates can wrap and delegate to the shipped
+//! executors; implementing a from-scratch executor requires this
+//! module's `pub(crate)` internals by design.)
 
 pub(crate) mod cells;
 pub(crate) mod sweep;
@@ -46,6 +48,12 @@ pub enum ExecutorKind {
         /// Worker threads; `0` means `std::thread::available_parallelism`.
         threads: usize,
     },
+    /// The fault-injecting executor: the α-synchronizer of
+    /// [`crate::sim::FaultyExecutor`] over the seeded adversary described
+    /// by the plan. Outputs stay bit-identical to [`ExecutorKind::Serial`];
+    /// the transport overhead is metered in
+    /// [`crate::metrics::SimPhaseStats`].
+    Faulty(crate::sim::FaultPlan),
 }
 
 impl ExecutorKind {
@@ -54,10 +62,16 @@ impl ExecutorKind {
         ExecutorKind::Parallel { threads: 0 }
     }
 
+    /// The faulty executor under the lossless default plan (pure
+    /// synchronizer overhead, no injected faults).
+    pub fn faulty() -> Self {
+        ExecutorKind::Faulty(crate::sim::FaultPlan::default())
+    }
+
     /// The worker count this kind resolves to (≥ 1).
     pub fn effective_threads(&self) -> usize {
         match *self {
-            ExecutorKind::Serial => 1,
+            ExecutorKind::Serial | ExecutorKind::Faulty(_) => 1,
             ExecutorKind::Parallel { threads: 0 } => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),

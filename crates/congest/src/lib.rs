@@ -66,6 +66,7 @@ pub mod message;
 pub mod metrics;
 pub mod node;
 pub mod primitives;
+pub mod sim;
 
 pub use algorithm::{Algorithm, FinishResult, Outbox, ProtocolViolation, Step};
 pub use config::NetworkConfig;
@@ -73,5 +74,6 @@ pub use engine::{Network, RunOutcome};
 pub use error::CongestError;
 pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SerialExecutor};
 pub use message::{id_bits, value_bits, Message};
-pub use metrics::{MetricsLedger, PhaseGroup, PhaseMetrics};
+pub use metrics::{MetricsLedger, PhaseGroup, PhaseMetrics, SimPhaseStats};
 pub use node::{NeighborInfo, NodeCtx, Port, TreeInfo};
+pub use sim::{FaultPlan, FaultyExecutor};

@@ -22,6 +22,48 @@ pub struct PhaseMetrics {
     /// Bandwidth violations observed (always 0 in strict mode — strict runs
     /// fail fast instead).
     pub violations: u64,
+    /// Transport-layer counters of the faulty executor's α-synchronizer
+    /// (all zero under the fault-free executors).
+    pub sim: SimPhaseStats,
+}
+
+/// What the α-synchronizer of [`crate::sim::FaultyExecutor`] did under
+/// the hood of one phase: the physical network ticks it spent, the
+/// frames it moved, and the faults the adversary injected. The
+/// algorithm-level fields of [`PhaseMetrics`] (rounds, messages, bits,
+/// edge loads) stay *payload-level* — identical to a fault-free run of
+/// the same phase — so these counters are pure overhead accounting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct SimPhaseStats {
+    /// Physical network ticks consumed (`0` under fault-free executors;
+    /// always ≥ `rounds` under the faulty one — the ratio is the
+    /// synchronizer's round-overhead factor).
+    pub phys_rounds: u64,
+    /// Payload-carrying frame transmissions, retransmissions included.
+    pub data_frames: u64,
+    /// Pure control frames (acks and safe-round announcements).
+    pub ctrl_frames: u64,
+    /// Timeout-driven payload retransmissions (transmissions beyond a
+    /// payload's first that the resend timer scheduled). Opportunistic
+    /// piggybacks of a pending payload on ack frames count in
+    /// `data_frames` but not here — a lossless run reports zero.
+    pub retransmitted: u64,
+    /// Frames the adversary dropped.
+    pub dropped: u64,
+    /// Frames the adversary duplicated.
+    pub duplicated: u64,
+}
+
+impl SimPhaseStats {
+    /// Folds `other` into `self` (all fields sum).
+    pub(crate) fn absorb(&mut self, other: &SimPhaseStats) {
+        self.phys_rounds += other.phys_rounds;
+        self.data_frames += other.data_frames;
+        self.ctrl_frames += other.ctrl_frames;
+        self.retransmitted += other.retransmitted;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+    }
 }
 
 /// Accumulated metrics of a session: one entry per executed phase.
@@ -115,6 +157,55 @@ impl MetricsLedger {
             .sum()
     }
 
+    /// Counts the phases whose name contains `needle` — the cardinality
+    /// companion of [`MetricsLedger::messages_matching`] and
+    /// [`MetricsLedger::bits_matching`] (how many `mstA.*` phases ran,
+    /// not just what they cost).
+    pub fn phases_matching(&self, needle: &str) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .count()
+    }
+
+    /// Total physical network ticks across phases: a phase simulated by
+    /// the faulty executor contributes its transport ticks
+    /// (`sim.phys_rounds`), a fault-free phase contributes its `rounds`
+    /// (one tick per round). Dividing by [`MetricsLedger::total_rounds`]
+    /// yields the session's synchronizer round-overhead factor.
+    pub fn total_phys_rounds(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.sim.phys_rounds.max(p.rounds))
+            .sum()
+    }
+
+    /// The session's synchronizer round-overhead factor:
+    /// `total_phys_rounds / total_rounds` (1.0 for fault-free sessions
+    /// and empty ledgers).
+    pub fn sim_overhead_factor(&self) -> f64 {
+        let rounds = self.total_rounds();
+        if rounds == 0 {
+            return 1.0;
+        }
+        self.total_phys_rounds() as f64 / rounds as f64
+    }
+
+    /// Total frames the adversary dropped across phases.
+    pub fn total_dropped(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.dropped).sum()
+    }
+
+    /// Total payload retransmissions across phases.
+    pub fn total_retransmitted(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.retransmitted).sum()
+    }
+
+    /// Total frames the adversary duplicated across phases.
+    pub fn total_duplicated(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.duplicated).sum()
+    }
+
     /// Aggregates the recorded phases by label *stem* — the phase name up
     /// to the first `'.'` (`"mstA.l3.cand"` → `"mstA"`, `"leader_bfs"` →
     /// `"leader_bfs"`) — in order of first appearance. This is the
@@ -134,6 +225,7 @@ impl MetricsLedger {
             g.rounds += p.rounds;
             g.messages += p.messages;
             g.bits += p.bits;
+            g.sim.absorb(&p.sim);
         }
         order
             .into_iter()
@@ -161,6 +253,9 @@ pub struct PhaseGroup {
     pub messages: u64,
     /// Bits delivered by the stem.
     pub bits: u64,
+    /// Summed transport-layer (faulty-executor) counters of the stem —
+    /// all zero when the stem ran under a fault-free executor.
+    pub sim: SimPhaseStats,
 }
 
 #[cfg(test)]
@@ -176,6 +271,7 @@ mod tests {
             max_message_bits: bits as usize,
             max_edge_load_bits: bits as usize,
             violations: 0,
+            sim: SimPhaseStats::default(),
         }
     }
 
@@ -218,7 +314,52 @@ mod tests {
                 rounds: 4,
                 messages: 60,
                 bits: 600,
+                sim: SimPhaseStats::default(),
             }
         );
+    }
+
+    #[test]
+    fn phases_matching_counts_names() {
+        let mut l = MetricsLedger::new();
+        l.push(phase("mstA.l0.cand", 1, 1, 1));
+        l.push(phase("mstA.l1.cand", 1, 1, 1));
+        l.push(phase("s4a", 1, 1, 1));
+        assert_eq!(l.phases_matching("mstA"), 2);
+        assert_eq!(l.phases_matching("cand"), 2);
+        assert_eq!(l.phases_matching("s4a"), 1);
+        assert_eq!(l.phases_matching("nope"), 0);
+    }
+
+    #[test]
+    fn sim_counters_aggregate_in_stems_and_totals() {
+        let mut faulty = phase("mstA.l0.exch", 10, 5, 50);
+        faulty.sim = SimPhaseStats {
+            phys_rounds: 40,
+            data_frames: 9,
+            ctrl_frames: 20,
+            retransmitted: 4,
+            dropped: 3,
+            duplicated: 1,
+        };
+        let mut l = MetricsLedger::new();
+        l.push(faulty);
+        l.push(phase("mstA.l1.exch", 10, 5, 50)); // fault-free: sim zeros
+        l.push(phase("s4a", 6, 2, 20));
+        let groups = l.grouped_by_stem();
+        let msta = &groups[0].1;
+        assert_eq!(msta.sim.phys_rounds, 40);
+        assert_eq!(msta.sim.dropped, 3);
+        assert_eq!(msta.sim.retransmitted, 4);
+        assert_eq!(groups[1].1.sim, SimPhaseStats::default());
+        // Fault-free phases contribute one tick per round to the
+        // physical total; the simulated one its measured ticks.
+        assert_eq!(l.total_phys_rounds(), 40 + 10 + 6);
+        assert_eq!(l.total_dropped(), 3);
+        assert_eq!(l.total_duplicated(), 1);
+        assert_eq!(l.total_retransmitted(), 4);
+        let f = l.sim_overhead_factor();
+        assert!((f - 56.0 / 26.0).abs() < 1e-9, "factor = {f}");
+        assert_eq!(MetricsLedger::new().sim_overhead_factor(), 1.0);
     }
 }

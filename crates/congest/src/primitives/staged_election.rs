@@ -81,30 +81,65 @@ pub enum Candidacy {
 }
 
 /// When a node's pending probe is allowed to advance (module docs).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum Schedule {
     /// Fronts advance every round — the legacy protocol.
     Immediate,
     /// Radius-doubling stages: stage `k` (of length `r0·2^k + 2` rounds)
     /// releases probes up to `r0·2^k` hops from their candidate.
     Doubling {
-        /// Radius of stage 0 (≥ 1; the default staged election uses 1).
+        /// Radius of stage 0 (≥ 1; the pre-eccentricity staged election
+        /// used 1).
         r0: u32,
     },
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Doubling { r0: 1 }
-    }
+    /// [`Schedule::Doubling`] with the first radius seeded from the
+    /// network's a-priori depth estimate, `r0 = ⌈log₂ n⌉` (see
+    /// [`Schedule::ecc_r0`]): sparse graphs — where the doubling
+    /// schedule's early pauses used to cost a ~1.4× round constant over
+    /// the legacy flood — skip straight past the radii their diameter
+    /// provably exceeds, while the message throttling of the later
+    /// stages is untouched. Resolved against `n` (every node knows `n`,
+    /// so the schedule stays a globally agreed function of the round
+    /// number) at [`Schedule::resolve`]. This is the default.
+    #[default]
+    EccSeeded,
 }
 
 impl Schedule {
+    /// The eccentricity-seeded first radius for an `n`-node network:
+    /// `⌈log₂ n⌉`. Rationale: a radius-`r0` ball a probe must cover
+    /// before its first pause holds at most `Δ^{r0}` nodes, so on any
+    /// graph whose depth is below `log₂ n` the ball argument is moot
+    /// (stage 0 already spans the graph and the schedule degenerates to
+    /// the legacy front), while on bounded-degree graphs — where
+    /// `D ≥ log_Δ n = Θ(log n)` — the seed is a certified diameter
+    /// lower bound and the skipped stages were pure pause overhead. An
+    /// explicit wire probe of the real eccentricity would cost `Ω(m)`
+    /// messages — more than the whole staged election moves on
+    /// few-minima layouts — so the seed deliberately stays a-priori.
+    pub fn ecc_r0(n: usize) -> u32 {
+        crate::message::id_bits(n.max(2)) as u32
+    }
+
+    /// Resolves [`Schedule::EccSeeded`] against the network size; the
+    /// other variants pass through unchanged.
+    pub fn resolve(self, n: usize) -> Schedule {
+        match self {
+            Schedule::EccSeeded => Schedule::Doubling {
+                r0: Self::ecc_r0(n),
+            },
+            other => other,
+        }
+    }
+
     /// The probe radius the schedule permits in `round`: a node at depth
     /// `d` may forward iff `d < radius_at(round)`.
+    /// [`Schedule::EccSeeded`] must be [`Schedule::resolve`]d first —
+    /// unresolved it is read as `r0 = 1`.
     pub fn radius_at(self, round: u64) -> u64 {
         match self {
             Schedule::Immediate => u64::MAX,
+            Schedule::EccSeeded => Schedule::Doubling { r0: 1 }.radius_at(round),
             Schedule::Doubling { r0 } => {
                 let r0 = u64::from(r0.max(1));
                 // Stage k spans [T_k, T_{k+1}) with T_{k+1} = T_k + R_k + 2
@@ -300,8 +335,10 @@ impl Algorithm for StagedElection {
         // legacy behavior); under `Doubling` a front pauses at each stage
         // radius and resumes — on all non-parent ports, so the crossing
         // probes the neighbors' echoes wait for are never skipped — when
-        // the next stage begins.
-        if s.probe_pending && u64::from(s.depth) < self.schedule.radius_at(ctx.round) {
+        // the next stage begins. `resolve` pins `EccSeeded` to `n`, which
+        // every node knows, so the schedule stays globally agreed.
+        if s.probe_pending && u64::from(s.depth) < self.schedule.resolve(ctx.n).radius_at(ctx.round)
+        {
             s.probe_pending = false;
             s.flood(ctx, &mut out);
         }
@@ -370,6 +407,69 @@ mod tests {
             assert_eq!(s.radius_at(r), 4, "round {r}");
         }
         assert_eq!(s.radius_at(13), 8);
+    }
+
+    #[test]
+    fn ecc_seed_resolves_against_n() {
+        assert_eq!(Schedule::ecc_r0(576), 10);
+        assert_eq!(Schedule::ecc_r0(2), 1);
+        assert_eq!(Schedule::ecc_r0(0), 1);
+        assert_eq!(
+            Schedule::EccSeeded.resolve(576),
+            Schedule::Doubling { r0: 10 }
+        );
+        assert_eq!(Schedule::Immediate.resolve(576), Schedule::Immediate);
+        assert_eq!(
+            Schedule::Doubling { r0: 3 }.resolve(576),
+            Schedule::Doubling { r0: 3 }
+        );
+        // Unresolved EccSeeded degrades to the conservative r0 = 1.
+        assert_eq!(
+            Schedule::EccSeeded.radius_at(0),
+            Schedule::Doubling { r0: 1 }.radius_at(0)
+        );
+        assert_eq!(Schedule::default(), Schedule::EccSeeded);
+    }
+
+    /// The whole point of the eccentricity seed: on a torus the early
+    /// pause stages disappear (fewer rounds), while the probe fronts —
+    /// and with them the message count — are untouched on a
+    /// single-minimum identifier layout. Outputs stay bit-identical
+    /// across all three protocols (the parity suites widen this to
+    /// random graphs and executors).
+    #[test]
+    fn ecc_seed_cuts_rounds_not_parity_on_tori() {
+        use crate::config::NetworkConfig;
+        use crate::engine::Network;
+        let g = graphs::generators::torus2d(12, 12).unwrap();
+        let run = |schedule: Schedule| {
+            let algo = StagedElection {
+                candidacy: Candidacy::LocalMinima,
+                schedule,
+            };
+            let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+            let out = net.run("leader_bfs", &algo, vec![(); 144]).unwrap();
+            (out.outputs, out.metrics.rounds, out.metrics.messages)
+        };
+        let (ecc_out, ecc_rounds, ecc_msgs) = run(Schedule::EccSeeded);
+        let (r1_out, r1_rounds, r1_msgs) = run(Schedule::Doubling { r0: 1 });
+        let (legacy_out, legacy_rounds, _) = run(Schedule::Immediate); // candidacy still LocalMinima
+        assert_eq!(ecc_out, r1_out);
+        assert_eq!(ecc_out, legacy_out);
+        assert_eq!(
+            ecc_msgs, r1_msgs,
+            "one candidate: schedule moves no extra probes"
+        );
+        assert!(
+            ecc_rounds < r1_rounds,
+            "ecc {ecc_rounds} rounds vs r0=1 {r1_rounds}"
+        );
+        assert!(ecc_rounds >= legacy_rounds, "still a staged schedule");
+        // The residual constant over the unthrottled front is small.
+        assert!(
+            (ecc_rounds as f64) < 1.25 * legacy_rounds as f64,
+            "ecc {ecc_rounds} vs legacy {legacy_rounds}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1196 @@
+//! The faulty executor: an α-synchronizer over an adversarial network.
+//!
+//! [`FaultyExecutor`] drives a phase over a network whose links drop,
+//! duplicate, delay, and reorder frames according to a seeded
+//! [`FaultPlan`], while presenting node code with **exactly** the
+//! synchronous CONGEST semantics of [`crate::SerialExecutor`]: every
+//! algorithm in the workspace runs unmodified, and its per-node outputs,
+//! virtual round count, and payload-level metrics are bit-identical to a
+//! fault-free run (the `sim_parity` suites assert this on the full
+//! min-cut pipeline).
+//!
+//! # The synchronizer
+//!
+//! Time advances in physical **ticks**; each directed edge carries at
+//! most one *frame* per tick (the transport stays CONGEST-shaped). A
+//! frame bundles an optional payload with three piggybacked control
+//! fields — a cumulative payload ack, the sender's *safe count*, and an
+//! echo of the receiver's safe count:
+//!
+//! * **Acks + stop-and-wait retransmission.** Payloads are sequence-
+//!   numbered per directed edge; the receiver acknowledges cumulatively
+//!   and deduplicates, the sender retransmits on timeout and gives up —
+//!   with [`crate::CongestError::RetransmitExhausted`] — after the
+//!   plan's attempt budget. Because a node only enters round `r + 1`
+//!   after its round-`r` payloads are acked, each edge carries at most
+//!   one unacked payload, and cumulative values make every control field
+//!   monotone — duplicates and reordering are harmless by construction.
+//! * **Safe-round detection.** Node `v` is *safe through round `r`*
+//!   (safe count `r + 1`) once all its sends of rounds `≤ r` are acked;
+//!   a halted node that has drained its channels is safe forever
+//!   (`u64::MAX`). Safe counts are gossiped to neighbors and
+//!   retransmitted until echoed back.
+//! * **The α rule.** `v` executes round `r + 1` once it is safe through
+//!   `r` *and* every neighbor has announced safety through `r`. A
+//!   neighbor's ack implies arrival, so at that moment every round-`r`
+//!   payload addressed to `v` is already buffered — `v`'s inbox for
+//!   round `r + 1` is complete and identical to the synchronous one.
+//!   Neighbors' virtual rounds can skew by at most one, payloads carry
+//!   their virtual round, and inboxes are replayed in port order, so the
+//!   per-node state trajectory is the synchronous trajectory.
+//!
+//! # Accounting
+//!
+//! The algorithm-level [`PhaseMetrics`] fields (rounds, messages, bits,
+//! `max_message_bits`, `max_edge_load_bits`) count **payloads at virtual
+//! rounds** — they match the fault-free run. The transport's work
+//! (ticks, data/control frames, retransmissions, drops, duplicates)
+//! lands in [`SimPhaseStats`], which is where the synchronizer's
+//! round-overhead factor (`sim.phys_rounds / rounds`) comes from.
+
+use crate::algorithm::{Algorithm, Step};
+use crate::error::CongestError;
+use crate::executor::{PhaseSpec, RoundExecutor};
+use crate::message::Message;
+use crate::metrics::{PhaseMetrics, SimPhaseStats};
+use crate::node::Port;
+use crate::sim::plan::FaultPlan;
+use graphs::NodeId;
+use std::collections::BTreeMap;
+
+/// The fault-injecting round executor. See the module docs for the
+/// protocol; construct one from a [`FaultPlan`] (or select it with
+/// [`crate::ExecutorKind::Faulty`]) and pass it to
+/// [`crate::Network::run_with`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FaultyExecutor {
+    plan: FaultPlan,
+}
+
+impl FaultyExecutor {
+    /// An executor injecting faults per `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyExecutor { plan }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl RoundExecutor for FaultyExecutor {
+    fn run_phase<A: Algorithm>(
+        &self,
+        spec: &PhaseSpec<'_>,
+        algo: &A,
+        inputs: Vec<A::Input>,
+    ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
+        Machine::new(&self.plan, spec, algo).run(inputs)
+    }
+}
+
+/// One unacknowledged payload on a directed edge.
+#[derive(Clone)]
+struct TxData<M> {
+    /// Per-edge payload sequence number (1-based).
+    seq: u64,
+    /// The virtual round the payload was sent in.
+    round: u64,
+    msg: M,
+}
+
+/// Sender-side channel state of one directed edge.
+struct ChanTx<M> {
+    /// The current unacked payload (at most one — stop-and-wait).
+    data: Option<TxData<M>>,
+    /// Payloads accepted for transmission so far.
+    seq: u64,
+    /// Transmissions of the current payload.
+    attempts: u32,
+    /// Transmissions of the current safe-count value.
+    safe_attempts: u32,
+    /// Tick of the last frame sent on this edge.
+    last_send: u64,
+    /// The receiver's confirmed view of this sender's safe count.
+    peer_safe_seen: u64,
+    /// A control frame is due next tick (fresh ack or safety advance).
+    dirty: bool,
+}
+
+impl<M> Default for ChanTx<M> {
+    fn default() -> Self {
+        ChanTx {
+            data: None,
+            seq: 0,
+            attempts: 0,
+            safe_attempts: 0,
+            last_send: 0,
+            peer_safe_seen: 0,
+            dirty: false,
+        }
+    }
+}
+
+/// Receiver-side channel state of one directed edge.
+#[derive(Clone)]
+struct ChanRx {
+    /// Payloads accepted (cumulative ack value).
+    rcv_seq: u64,
+    /// The sender's announced safe count (`u64::MAX` = halted+drained).
+    peer_safe: u64,
+}
+
+/// Per-node executor state.
+struct SimNode<S> {
+    state: Option<S>,
+    /// Last executed virtual round (0 after boot).
+    round: u64,
+    halted: bool,
+    /// Outstanding unacked payloads across this node's edges.
+    unacked: u32,
+    /// Safe count: all sends of rounds `< safe` are acked.
+    safe: u64,
+}
+
+/// One frame on the wire.
+#[derive(Clone)]
+struct Frame<M> {
+    data: Option<TxData<M>>,
+    ack_seq: u64,
+    safe_upto: u64,
+    safe_seen: u64,
+    /// The sender is waiting for an echo of `safe_upto`: the receiver
+    /// must answer with a control frame. Responses themselves set this
+    /// only while *their* sender is unconfirmed, so the exchange
+    /// converges instead of ping-ponging.
+    needs_echo: bool,
+}
+
+/// One node's buffered future inboxes: virtual round → (port, payload).
+type InboxBuffer<M> = BTreeMap<u64, Vec<(Port, M)>>;
+
+/// The whole simulation state of one phase under the faulty executor.
+struct Machine<'a, A: Algorithm> {
+    plan: &'a FaultPlan,
+    spec: &'a PhaseSpec<'a>,
+    algo: &'a A,
+    /// Destination node of each slot (directed edge), by slot index.
+    slot_owner: Vec<u32>,
+    nodes: Vec<SimNode<A::State>>,
+    inboxes: Vec<InboxBuffer<A::Msg>>,
+    tx: Vec<ChanTx<A::Msg>>,
+    rx: Vec<ChanRx>,
+    /// Delivery ring buffer: arrivals at tick `t` live in slot
+    /// `t % calendar.len()`.
+    calendar: Vec<Vec<(usize, Frame<A::Msg>)>>,
+    in_flight: usize,
+    active: Vec<usize>,
+    is_active: Vec<bool>,
+    ready: Vec<u32>,
+    live: usize,
+    unacked_total: u64,
+    max_round: u64,
+    /// The minimum-(round, node) error observed so far, if any.
+    err: Option<(u64, u64, CongestError)>,
+    metrics: PhaseMetrics,
+    sim: SimPhaseStats,
+    edge_load: Vec<u64>,
+}
+
+impl<'a, A: Algorithm> Machine<'a, A> {
+    fn new(plan: &'a FaultPlan, spec: &'a PhaseSpec<'a>, algo: &'a A) -> Self {
+        let n = spec.n;
+        let total = spec.slot_base[n];
+        let mut slot_owner = vec![0u32; total];
+        for v in 0..n {
+            slot_owner[spec.slot_base[v]..spec.slot_base[v + 1]].fill(v as u32);
+        }
+        Machine {
+            plan,
+            spec,
+            algo,
+            slot_owner,
+            nodes: (0..n)
+                .map(|_| SimNode {
+                    state: None,
+                    round: 0,
+                    halted: false,
+                    unacked: 0,
+                    safe: 0,
+                })
+                .collect(),
+            inboxes: (0..n).map(|_| BTreeMap::new()).collect(),
+            tx: (0..total).map(|_| ChanTx::default()).collect(),
+            rx: vec![
+                ChanRx {
+                    rcv_seq: 0,
+                    peer_safe: 0,
+                };
+                total
+            ],
+            calendar: (0..plan.max_delay as usize + 2)
+                .map(|_| Vec::new())
+                .collect(),
+            in_flight: 0,
+            active: Vec::new(),
+            is_active: vec![false; total],
+            ready: Vec::new(),
+            live: n,
+            unacked_total: 0,
+            max_round: 0,
+            err: None,
+            metrics: PhaseMetrics {
+                name: spec.name.to_string(),
+                ..Default::default()
+            },
+            sim: SimPhaseStats::default(),
+            edge_load: vec![0u64; total],
+        }
+    }
+
+    /// The reverse directed edge of slot `d` (the delivery slot of the
+    /// opposite direction; `write_slot` is an involution).
+    fn rev(&self, d: usize) -> usize {
+        self.spec.write_slot[d]
+    }
+
+    /// The sender node of edge `d`.
+    fn sender(&self, d: usize) -> usize {
+        self.slot_owner[self.rev(d)] as usize
+    }
+
+    /// The sender's port number for edge `d`.
+    fn sender_port(&self, d: usize) -> Port {
+        let u = self.sender(d);
+        Port((self.rev(d) - self.spec.slot_base[u]) as u32)
+    }
+
+    /// Records an error at (virtual `round`, `node`), keeping the
+    /// lexicographic minimum — the same selection rule as the fault-free
+    /// executors ("the earliest round's lowest-id node wins"). Execution
+    /// continues, gated to rounds ≤ the current minimum error round (see
+    /// [`Machine::may_advance`]), so every error the serial schedule
+    /// would have hit first is observed before the phase returns.
+    fn record_err(&mut self, round: u64, node: u64, e: CongestError) {
+        match &self.err {
+            Some((r, v, _)) if (*r, *v) <= (round, node) => {}
+            _ => self.err = Some((round, node, e)),
+        }
+    }
+
+    /// Takes the recorded minimum error for returning, mirroring one
+    /// serial quirk exactly: `MessageToHalted` reports the *delivery*
+    /// round when any node was still live then (the sweep's
+    /// halted-segment check), but the *last executed* round when the
+    /// whole network halted first (the serial all-halted path reports
+    /// its loop counter). Clamping to `max_round` reproduces both: the
+    /// error-round gate lets live nodes reach the delivery round, so
+    /// the clamp only bites when nobody could.
+    fn take_err(&mut self) -> CongestError {
+        let (_, _, mut e) = self.err.take().expect("error recorded");
+        if let CongestError::MessageToHalted { round, .. } = &mut e {
+            *round = (*round).min(self.max_round);
+        }
+        e
+    }
+
+    fn activate(&mut self, d: usize) {
+        if !self.is_active[d] {
+            self.is_active[d] = true;
+            self.active.push(d);
+        }
+    }
+
+    /// Raises `v`'s safe count and schedules the announcement toward
+    /// every neighbor that might still be waiting on it.
+    fn set_safe(&mut self, v: usize, safe: u64) {
+        self.nodes[v].safe = safe;
+        for s in self.spec.slot_base[v]..self.spec.slot_base[v + 1] {
+            let out = self.spec.write_slot[s];
+            // `s` receives from the same neighbor `out` sends to: a peer
+            // announced permanently safe never advances again and needs
+            // no more safety gossip from us.
+            if self.rx[s].peer_safe != u64::MAX && self.tx[out].peer_safe_seen < safe {
+                self.tx[out].dirty = true;
+                self.tx[out].safe_attempts = 0;
+                self.activate(out);
+            }
+        }
+    }
+
+    /// Validates and enqueues one round's outbox of node `v`, mirroring
+    /// the fault-free executors' `route_outbox` enforcement (ports,
+    /// double sends, bandwidth) and payload-level metering.
+    fn enqueue_outbox(&mut self, v: usize, round: u64, msgs: Vec<(Port, A::Msg)>) {
+        let degree = self.spec.neighbors[v].len();
+        let base = self.spec.slot_base[v];
+        for (port, msg) in msgs {
+            let p = port.index();
+            if p >= degree {
+                self.record_err(
+                    round,
+                    v as u64,
+                    CongestError::InvalidPort {
+                        phase: self.spec.name.to_string(),
+                        node: NodeId::from_index(v),
+                        port,
+                        degree,
+                    },
+                );
+                return;
+            }
+            let d = self.spec.write_slot[base + p];
+            // A node advances only after all its previous payloads are
+            // acked, so an occupied channel is a same-round double send.
+            if self.tx[d].data.is_some() {
+                self.record_err(
+                    round,
+                    v as u64,
+                    CongestError::DoubleSend {
+                        phase: self.spec.name.to_string(),
+                        node: NodeId::from_index(v),
+                        port,
+                        round,
+                    },
+                );
+                return;
+            }
+            let bits = msg.bit_len();
+            if bits > self.spec.bandwidth_bits {
+                if self.spec.strict {
+                    self.record_err(
+                        round,
+                        v as u64,
+                        CongestError::BandwidthExceeded {
+                            phase: self.spec.name.to_string(),
+                            node: NodeId::from_index(v),
+                            port,
+                            bits,
+                            budget: self.spec.bandwidth_bits,
+                            round,
+                        },
+                    );
+                    return;
+                }
+                self.metrics.violations += 1;
+            }
+            self.metrics.messages += 1;
+            self.metrics.bits += bits as u64;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            self.edge_load[d] += bits as u64;
+            let t = &mut self.tx[d];
+            t.seq += 1;
+            t.data = Some(TxData {
+                seq: t.seq,
+                round,
+                msg,
+            });
+            t.attempts = 0;
+            self.nodes[v].unacked += 1;
+            self.unacked_total += 1;
+            self.activate(d);
+        }
+    }
+
+    /// Re-derives `v`'s safe count after its outstanding payload count
+    /// changed or it executed a round.
+    fn refresh_safety(&mut self, v: usize) {
+        let node = &self.nodes[v];
+        let safe = if node.unacked > 0 {
+            node.round
+        } else if node.halted {
+            u64::MAX
+        } else {
+            node.round + 1
+        };
+        if safe > self.nodes[v].safe {
+            self.set_safe(v, safe);
+        }
+    }
+
+    /// Executes every virtual round the α rule currently allows at the
+    /// nodes queued in `ready`.
+    fn advance_ready(&mut self) {
+        let mut batch = std::mem::take(&mut self.ready);
+        batch.sort_unstable();
+        batch.dedup();
+        for v in batch {
+            self.advance_node(v as usize);
+        }
+    }
+
+    /// Is `v` allowed to execute its next virtual round? Once an error
+    /// is recorded, execution is gated to rounds up to the earliest
+    /// error round: slower regions still catch up — so any
+    /// earlier-round error is found and the minimum-(round, node)
+    /// selection matches the serial schedule — but nothing runs *past*
+    /// the erroring round (the serial engine aborts there, and beyond it
+    /// inboxes could diverge).
+    fn may_advance(&self, v: usize) -> bool {
+        let node = &self.nodes[v];
+        if node.halted || node.unacked > 0 {
+            return false;
+        }
+        let next = node.round + 1;
+        if let Some((err_round, _, _)) = &self.err {
+            if next > *err_round {
+                return false;
+            }
+        }
+        (self.spec.slot_base[v]..self.spec.slot_base[v + 1]).all(|s| self.rx[s].peer_safe >= next)
+    }
+
+    fn advance_node(&mut self, v: usize) {
+        let spec = self.spec;
+        let algo = self.algo;
+        while self.may_advance(v) {
+            let q = self.nodes[v].round + 1;
+            if q > spec.cap {
+                self.record_err(
+                    q,
+                    v as u64,
+                    CongestError::MaxRoundsExceeded {
+                        phase: spec.name.to_string(),
+                        cap: spec.cap,
+                    },
+                );
+                return;
+            }
+            let mut inbox = self.inboxes[v].remove(&q).unwrap_or_default();
+            inbox.sort_by_key(|(p, _)| *p);
+            let mut state = self.nodes[v].state.take().expect("booted node has state");
+            let ctx = spec.ctx(v, q);
+            let step = algo.round(&mut state, &ctx, &inbox);
+            self.nodes[v].state = Some(state);
+            self.nodes[v].round = q;
+            self.max_round = self.max_round.max(q);
+            let outbox = match step {
+                Step::Continue(o) => o,
+                Step::Halt(o) => {
+                    self.nodes[v].halted = true;
+                    self.live -= 1;
+                    o
+                }
+            };
+            self.enqueue_outbox(v, q, outbox.msgs);
+            if self.nodes[v].halted {
+                // Anything still buffered was addressed to a round this
+                // node will never execute — exactly the fault-free
+                // engines' message-to-halted condition.
+                if let Some((&round, _)) = self.inboxes[v].iter().next() {
+                    if spec.strict {
+                        self.record_err(
+                            round,
+                            v as u64,
+                            CongestError::MessageToHalted {
+                                phase: spec.name.to_string(),
+                                node: NodeId::from_index(v),
+                                round,
+                            },
+                        );
+                    } else {
+                        self.inboxes[v].clear();
+                    }
+                }
+            }
+            self.refresh_safety(v);
+            if self.nodes[v].halted {
+                return;
+            }
+        }
+    }
+
+    /// Processes one arriving frame on edge `d`.
+    fn process_arrival(&mut self, d: usize, f: Frame<A::Msg>) {
+        let v = self.slot_owner[d] as usize;
+        let out = self.rev(d);
+        // Safety gossip from the sender.
+        if f.safe_upto > self.rx[d].peer_safe {
+            self.rx[d].peer_safe = f.safe_upto;
+            self.ready.push(v as u32);
+        }
+        // The sender is retransmitting its safety until we echo it back:
+        // answer with a control frame (the echo rides in `safe_seen`).
+        if f.needs_echo {
+            self.tx[out].dirty = true;
+            self.activate(out);
+        }
+        // Echo of our own safety (confirms the announcement).
+        if f.safe_seen > self.tx[out].peer_safe_seen {
+            self.tx[out].peer_safe_seen = f.safe_seen;
+            if self.tx[out].peer_safe_seen >= self.nodes[v].safe {
+                self.tx[out].safe_attempts = 0;
+            }
+        }
+        // Cumulative ack of our payload on the reverse edge.
+        let acked = self.tx[out]
+            .data
+            .as_ref()
+            .is_some_and(|dt| dt.seq <= f.ack_seq);
+        if acked {
+            self.tx[out].data = None;
+            self.tx[out].attempts = 0;
+            self.nodes[v].unacked -= 1;
+            self.unacked_total -= 1;
+            if self.nodes[v].unacked == 0 {
+                self.refresh_safety(v);
+                self.ready.push(v as u32);
+            }
+        }
+        // The payload itself.
+        if let Some(dt) = f.data {
+            if dt.seq <= self.rx[d].rcv_seq {
+                // A duplicate (or a stale delayed copy): our ack was
+                // lost or is still in flight — re-ack.
+                self.tx[out].dirty = true;
+                self.activate(out);
+            } else {
+                debug_assert_eq!(
+                    dt.seq,
+                    self.rx[d].rcv_seq + 1,
+                    "stop-and-wait: payloads arrive in order"
+                );
+                self.rx[d].rcv_seq = dt.seq;
+                if self.nodes[v].halted {
+                    if self.spec.strict {
+                        self.record_err(
+                            dt.round + 1,
+                            v as u64,
+                            CongestError::MessageToHalted {
+                                phase: self.spec.name.to_string(),
+                                node: NodeId::from_index(v),
+                                round: dt.round + 1,
+                            },
+                        );
+                    }
+                    // Acked at the transport, dropped at the algorithm
+                    // (in strict mode the recorded error ends the phase
+                    // once every earlier round has been ruled out).
+                } else {
+                    let port = Port((d - self.spec.slot_base[v]) as u32);
+                    self.inboxes[v]
+                        .entry(dt.round + 1)
+                        .or_default()
+                        .push((port, dt.msg));
+                }
+                self.tx[out].dirty = true;
+                self.activate(out);
+            }
+        }
+    }
+
+    /// Emits frames on every active edge that is due, applying the
+    /// adversary to each transmission.
+    fn transmit(&mut self, tick: u64) {
+        let timeout = self.plan.timeout();
+        let mut edges = std::mem::take(&mut self.active);
+        // Sender-side order (sort by the reverse slot, which lives in the
+        // sender's CSR range): transmissions — and therefore budget
+        // errors — happen lowest-sender-first, echoing the serial sweep.
+        edges.sort_unstable_by_key(|&d| self.spec.write_slot[d]);
+        for d in edges {
+            let u = self.sender(d);
+            let t = &self.tx[d];
+            let timer_due = t.attempts == 0 || tick >= t.last_send + timeout;
+            let data_due = t.data.is_some() && timer_due;
+            let peer_done = self.rx[self.rev(d)].peer_safe == u64::MAX;
+            let needs_safety = !peer_done && t.peer_safe_seen < self.nodes[u].safe;
+            let safety_due = needs_safety && (t.dirty || tick >= t.last_send + timeout);
+            if data_due || safety_due || t.dirty {
+                self.send_frame(d, tick, needs_safety, data_due);
+            }
+            // Stays active while something remains unconfirmed (data
+            // unacked or safety unechoed); throttled by the timeout.
+            let t = &self.tx[d];
+            if t.data.is_some() || (!peer_done && t.peer_safe_seen < self.nodes[u].safe) {
+                self.active.push(d);
+            } else {
+                self.is_active[d] = false;
+            }
+        }
+    }
+
+    /// Builds, meters, and (adversary permitting) schedules one frame on
+    /// edge `d`. `data_scheduled` says the retransmit timer (or a first
+    /// send) asked for the payload; an ack-driven frame still
+    /// *piggybacks* a pending payload opportunistically, but only
+    /// scheduled transmissions consume the attempt budget and count as
+    /// retransmissions — a lossless run therefore reports zero.
+    fn send_frame(&mut self, d: usize, tick: u64, needs_echo: bool, data_scheduled: bool) {
+        let u = self.sender(d);
+        let rev = self.rev(d);
+        let port = self.sender_port(d);
+        let budget = self.plan.max_attempts.max(1);
+        // Budget checks come first, *before* anything is counted or put
+        // on the wire: a starved channel records its typed error and
+        // goes quiet (no frames, no "progress"), so the run winds down
+        // through the stall detector instead of retransmitting forever.
+        if self.tx[d].data.is_some() {
+            debug_assert!(
+                data_scheduled || self.tx[d].attempts > 0,
+                "a payload's first transmission is always scheduled"
+            );
+            if data_scheduled {
+                if self.tx[d].attempts >= budget {
+                    let round = self.tx[d].data.as_ref().map_or(0, |dt| dt.round);
+                    self.record_err(
+                        round,
+                        u as u64,
+                        CongestError::RetransmitExhausted {
+                            phase: self.spec.name.to_string(),
+                            node: NodeId::from_index(u),
+                            port,
+                            round,
+                            attempts: budget,
+                        },
+                    );
+                    return;
+                }
+                self.tx[d].attempts += 1;
+                if self.tx[d].attempts > 1 {
+                    self.sim.retransmitted += 1;
+                }
+            }
+            self.sim.data_frames += 1;
+        } else {
+            if needs_echo {
+                if self.tx[d].safe_attempts >= budget {
+                    let round = self.nodes[u].round;
+                    self.record_err(
+                        round,
+                        u as u64,
+                        CongestError::RetransmitExhausted {
+                            phase: self.spec.name.to_string(),
+                            node: NodeId::from_index(u),
+                            port,
+                            round,
+                            attempts: budget,
+                        },
+                    );
+                    return;
+                }
+                self.tx[d].safe_attempts += 1;
+            }
+            self.sim.ctrl_frames += 1;
+        }
+        self.tx[d].last_send = tick;
+        self.tx[d].dirty = false;
+        let frame = Frame {
+            data: self.tx[d].data.clone(),
+            ack_seq: self.rx[rev].rcv_seq,
+            safe_upto: self.nodes[u].safe,
+            safe_seen: self.rx[rev].peer_safe,
+            needs_echo,
+        };
+        if self.plan.drops(d, tick) {
+            self.sim.dropped += 1;
+            return;
+        }
+        let window = self.calendar.len();
+        let at = (tick + 1 + self.plan.delay(d, tick, 0)) as usize % window;
+        self.in_flight += 1;
+        if self.plan.duplicates(d, tick) {
+            self.sim.duplicated += 1;
+            let at2 = (tick + 1 + self.plan.delay(d, tick, 1)) as usize % window;
+            self.calendar[at2].push((d, frame.clone()));
+            self.in_flight += 1;
+        }
+        self.calendar[at].push((d, frame));
+    }
+
+    fn run(
+        mut self,
+        inputs: Vec<A::Input>,
+    ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
+        let spec = self.spec;
+        let algo = self.algo;
+        let n = spec.n;
+        // Boot every node at virtual round 0.
+        for (v, input) in inputs.into_iter().enumerate() {
+            let ctx = spec.ctx(v, 0);
+            let (state, outbox) = algo.boot(&ctx, input);
+            self.nodes[v].state = Some(state);
+            self.enqueue_outbox(v, 0, outbox.msgs);
+            self.refresh_safety(v);
+            self.ready.push(v as u32);
+        }
+        // Boot is round 0 for everyone, so after the loop every round-0
+        // error has been observed: the minimum-node one wins, as under
+        // the serial boot sweep.
+        if self.err.is_some() {
+            return Err(self.take_err());
+        }
+        // A very generous physical cap: the virtual cap times the worst
+        // per-round transport cost. Reaching it means the synchronizer
+        // itself livelocked, which the attempt budgets make unreachable;
+        // it exists so a logic bug fails instead of spinning.
+        let per_round = (self.plan.timeout() + u64::from(self.plan.max_delay) + 2)
+            .saturating_mul(u64::from(self.plan.max_attempts.max(1)) + 1);
+        let tick_cap = spec.cap.saturating_add(2).saturating_mul(per_round);
+        let mut idle_ticks = 0u64;
+        let mut tick = 0u64;
+        loop {
+            let before = (self.sim.data_frames, self.sim.ctrl_frames, self.max_round);
+            // 1. Deliver this tick's arrivals (sorted by edge so the
+            //    order is schedule-independent and destination-grouped).
+            let window = self.calendar.len();
+            let mut arrivals = std::mem::take(&mut self.calendar[tick as usize % window]);
+            self.in_flight -= arrivals.len();
+            arrivals.sort_by_key(|&(d, _)| d);
+            let had_arrivals = !arrivals.is_empty();
+            for (d, frame) in arrivals {
+                self.process_arrival(d, frame);
+            }
+            // 2. Execute every virtual round the α rule now allows
+            //    (gated to rounds ≤ the earliest error round once an
+            //    error is recorded, so slower regions surface any
+            //    earlier-round error before the phase returns).
+            self.advance_ready();
+            // 3. Transmit on due edges.
+            self.transmit(tick);
+            // 4. Error wind-down: once every node still running has
+            //    executed through the earliest error round, no
+            //    earlier-(round, node) error can exist — return the
+            //    minimum, exactly the serial executor's selection.
+            if let Some((err_round, _, _)) = &self.err {
+                let err_round = *err_round;
+                if self
+                    .nodes
+                    .iter()
+                    .all(|nd| nd.halted || nd.round >= err_round)
+                {
+                    return Err(self.take_err());
+                }
+            }
+            // 5. Done? Once every node has halted and every payload is
+            //    acked and delivered, the remaining control chatter is
+            //    irrelevant.
+            if self.live == 0 && self.unacked_total == 0 && self.in_flight == 0 {
+                // Clamped to the virtual round count so the documented
+                // `phys_rounds ≥ rounds` invariant holds even for
+                // transport-free phases (an isolated node runs all its
+                // rounds inside one tick).
+                self.sim.phys_rounds = (tick + 1).max(self.max_round);
+                break;
+            }
+            let progressed = had_arrivals
+                || before != (self.sim.data_frames, self.sim.ctrl_frames, self.max_round);
+            idle_ticks = if progressed { 0 } else { idle_ticks + 1 };
+            tick += 1;
+            // A whole timeout-plus-window of ticks with no arrival, no
+            // frame, and no round: either a recorded error starved the
+            // network (budget-exhausted channels go quiet) — return it —
+            // or the synchronizer is stalled, impossible by design, and
+            // failing typed beats spinning.
+            if tick > tick_cap || idle_ticks > self.plan.timeout() + window as u64 + 1 {
+                return Err(if self.err.is_some() {
+                    self.take_err()
+                } else {
+                    CongestError::MaxRoundsExceeded {
+                        phase: spec.name.to_string(),
+                        cap: spec.cap,
+                    }
+                });
+            }
+        }
+        self.metrics.rounds = self.max_round;
+        self.metrics.max_edge_load_bits =
+            self.edge_load.iter().copied().max().unwrap_or(0) as usize;
+        self.metrics.sim = self.sim;
+        let mut outputs = Vec::with_capacity(n);
+        for (v, node) in self.nodes.into_iter().enumerate() {
+            let ctx = spec.ctx(v, self.max_round);
+            let out = algo
+                .finish(node.state.expect("state present"), &ctx)
+                .map_err(|violation| CongestError::Protocol {
+                    phase: spec.name.to_string(),
+                    node: NodeId::from_index(v),
+                    reason: violation.reason,
+                })?;
+            outputs.push(out);
+        }
+        Ok((outputs, self.metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{FinishResult, Outbox};
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::executor::ExecutorKind;
+    use crate::node::NodeCtx;
+
+    /// Every node floods its id for `ttl` rounds and outputs the minimum
+    /// seen (the engine's canonical smoke algorithm).
+    struct MinFlood {
+        ttl: u64,
+    }
+
+    struct MinState {
+        best: u32,
+        changed: bool,
+    }
+
+    impl Algorithm for MinFlood {
+        type Input = ();
+        type State = MinState;
+        type Msg = u32;
+        type Output = u32;
+
+        fn boot(&self, ctx: &NodeCtx<'_>, _input: ()) -> (MinState, Outbox<u32>) {
+            let mut o = Outbox::new();
+            o.send_all(ctx.ports(), ctx.node.raw());
+            (
+                MinState {
+                    best: ctx.node.raw(),
+                    changed: false,
+                },
+                o,
+            )
+        }
+
+        fn round(&self, s: &mut MinState, ctx: &NodeCtx<'_>, inbox: &[(Port, u32)]) -> Step<u32> {
+            s.changed = false;
+            for (_, m) in inbox {
+                if *m < s.best {
+                    s.best = *m;
+                    s.changed = true;
+                }
+            }
+            if ctx.round >= self.ttl {
+                return Step::halt();
+            }
+            let mut o = Outbox::new();
+            if s.changed {
+                o.send_all(ctx.ports(), s.best);
+            }
+            Step::Continue(o)
+        }
+
+        fn finish(&self, s: MinState, _ctx: &NodeCtx<'_>) -> FinishResult<u32> {
+            Ok(s.best)
+        }
+    }
+
+    fn run_flood(
+        g: &graphs::WeightedGraph,
+        kind: ExecutorKind,
+        ttl: u64,
+    ) -> crate::engine::RunOutcome<u32> {
+        let cfg = NetworkConfig::default().with_executor(kind);
+        let mut net = Network::new(g, cfg).unwrap();
+        net.run("flood", &MinFlood { ttl }, vec![(); g.node_count()])
+            .expect("flood succeeds")
+    }
+
+    /// The payload-level view of a faulty run — outputs, virtual rounds,
+    /// messages, bits, and both load maxima — is bit-identical to the
+    /// serial executor; only `sim` differs.
+    #[test]
+    fn lossless_plan_matches_serial_bit_for_bit() {
+        for g in [
+            graphs::generators::path(9).unwrap(),
+            graphs::generators::grid2d(4, 5).unwrap(),
+            graphs::generators::complete(6, 2).unwrap(),
+        ] {
+            let want = run_flood(&g, ExecutorKind::Serial, 12);
+            let got = run_flood(&g, ExecutorKind::faulty(), 12);
+            assert_eq!(got.outputs, want.outputs);
+            let mut payload = got.metrics.clone();
+            assert!(
+                payload.sim.phys_rounds > payload.rounds,
+                "{:?}",
+                payload.sim
+            );
+            assert_eq!(payload.sim.dropped, 0);
+            assert_eq!(payload.sim.duplicated, 0);
+            assert_eq!(
+                payload.sim.retransmitted, 0,
+                "a lossless run never times out a payload"
+            );
+            payload.sim = SimPhaseStats::default();
+            assert_eq!(payload, want.metrics);
+        }
+    }
+
+    /// Serial reports `MessageToHalted` with the *delivery* round when
+    /// any node is still live then, but with the *last executed* round
+    /// when the whole network halted first (its all-halted loop-top
+    /// check). The faulty executor reproduces both values exactly.
+    #[test]
+    fn all_halted_late_send_matches_serial_round() {
+        struct LastWords;
+        impl Algorithm for LastWords {
+            type Input = ();
+            type State = ();
+            type Msg = u32;
+            type Output = ();
+            fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+                ((), Outbox::new())
+            }
+            fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+                // Node 1 halts at round 1; node 0 sends to it at round 2
+                // and halts in the same step — the whole network is
+                // halted before the message's delivery round.
+                if ctx.node.raw() == 1 {
+                    return Step::halt();
+                }
+                if ctx.round == 2 {
+                    let mut o = Outbox::new();
+                    o.send(Port(0), 9);
+                    return Step::Halt(o);
+                }
+                Step::idle()
+            }
+            fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+                Ok(())
+            }
+        }
+        let g = graphs::generators::path(2).unwrap();
+        let run_err = |kind: ExecutorKind| {
+            let cfg = NetworkConfig::default().with_executor(kind);
+            let mut net = Network::new(&g, cfg).unwrap();
+            net.run("late", &LastWords, vec![(); 2]).unwrap_err()
+        };
+        let want = run_err(ExecutorKind::Serial);
+        assert!(
+            matches!(&want, CongestError::MessageToHalted { round: 2, .. }),
+            "serial's all-halted path reports the send round: {want:?}"
+        );
+        for plan in [
+            FaultPlan::lossless(),
+            FaultPlan::with_drop(300, 9).delayed(2),
+        ] {
+            assert_eq!(run_err(ExecutorKind::Faulty(plan)), want, "plan {plan:?}");
+        }
+    }
+
+    /// Heavy faults — drops, duplicates, a delay window wide enough to
+    /// reorder — change nothing at the algorithm level.
+    #[test]
+    fn lossy_plans_preserve_outputs_and_payload_metrics() {
+        let g = graphs::generators::grid2d(5, 5).unwrap();
+        let want = run_flood(&g, ExecutorKind::Serial, 14);
+        for (drop, dup, delay, seed) in [
+            (200u16, 0u16, 0u8, 7u64),
+            (100, 150, 3, 8),
+            (300, 100, 2, 9),
+        ] {
+            let plan = FaultPlan::with_drop(drop, seed)
+                .duplicated(dup)
+                .delayed(delay);
+            let got = run_flood(&g, ExecutorKind::Faulty(plan), 14);
+            assert_eq!(got.outputs, want.outputs, "plan {plan:?}");
+            assert_eq!(got.metrics.rounds, want.metrics.rounds, "plan {plan:?}");
+            assert_eq!(got.metrics.messages, want.metrics.messages, "plan {plan:?}");
+            assert_eq!(got.metrics.bits, want.metrics.bits, "plan {plan:?}");
+            assert!(got.metrics.sim.dropped > 0, "plan {plan:?}");
+            assert!(got.metrics.sim.retransmitted > 0, "plan {plan:?}");
+            if dup > 0 {
+                assert!(got.metrics.sim.duplicated > 0, "plan {plan:?}");
+            }
+        }
+    }
+
+    /// Same plan ⇒ byte-identical metrics, frame counts included.
+    #[test]
+    fn identical_plans_are_deterministic() {
+        let g = graphs::generators::torus2d(4, 5).unwrap();
+        let plan = FaultPlan::with_drop(250, 11).duplicated(100).delayed(3);
+        let a = run_flood(&g, ExecutorKind::Faulty(plan), 10);
+        let b = run_flood(&g, ExecutorKind::Faulty(plan), 10);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        let c = run_flood(&g, ExecutorKind::Faulty(FaultPlan::with_drop(250, 12)), 10);
+        assert_eq!(a.outputs, c.outputs, "outputs are seed-independent");
+        assert_ne!(
+            a.metrics.sim, c.metrics.sim,
+            "different seeds perturb different frames"
+        );
+    }
+
+    /// An adversary that drops everything exhausts the retransmission
+    /// budget and surfaces as a typed error, not a livelock.
+    #[test]
+    fn total_loss_exhausts_the_retransmit_budget() {
+        let g = graphs::generators::path(3).unwrap();
+        let plan = FaultPlan {
+            drop_per_mille: 1000,
+            max_attempts: 5,
+            resend_after: 1,
+            ..FaultPlan::default()
+        };
+        let cfg = NetworkConfig::default().with_fault_plan(plan);
+        let mut net = Network::new(&g, cfg).unwrap();
+        let err = net
+            .run("flood", &MinFlood { ttl: 5 }, vec![(); 3])
+            .unwrap_err();
+        match err {
+            CongestError::RetransmitExhausted { node, attempts, .. } => {
+                assert_eq!(node.raw(), 0, "lowest sender gives up first");
+                assert_eq!(attempts, 5);
+            }
+            other => panic!("expected RetransmitExhausted, got {other:?}"),
+        }
+    }
+
+    /// Node 0 messages node 1 after node 1 halted — the strict-mode
+    /// violation is detected under faults too, with the same fields the
+    /// serial executor reports.
+    #[test]
+    fn strict_message_to_halted_is_detected() {
+        struct LateSender;
+        impl Algorithm for LateSender {
+            type Input = ();
+            type State = ();
+            type Msg = u32;
+            type Output = ();
+            fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+                ((), Outbox::new())
+            }
+            fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+                if ctx.node.raw() == 1 {
+                    return Step::halt();
+                }
+                if ctx.round == 2 && ctx.node.raw() == 0 {
+                    let mut o = Outbox::new();
+                    o.send(Port(0), 9);
+                    return Step::Halt(o);
+                }
+                if ctx.round >= 3 {
+                    return Step::halt();
+                }
+                Step::idle()
+            }
+            fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+                Ok(())
+            }
+        }
+        for plan in [
+            FaultPlan::lossless(),
+            FaultPlan::with_drop(200, 3).delayed(2),
+        ] {
+            let g = graphs::generators::path(3).unwrap();
+            let cfg = NetworkConfig::default().with_fault_plan(plan);
+            let mut net = Network::new(&g, cfg).unwrap();
+            let err = net.run("late", &LateSender, vec![(); 3]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CongestError::MessageToHalted { ref node, round: 3, .. } if node.raw() == 1
+                ),
+                "got {err:?}"
+            );
+        }
+    }
+
+    /// Error *selection* parity: when several nodes err in different
+    /// virtual rounds, the faulty executor returns the earliest round's
+    /// lowest-id error — the serial executor's documented choice — even
+    /// though skew can make the later-round error happen first in
+    /// physical time. (Execution is gated at the earliest recorded
+    /// error round until every slower region has caught up.)
+    #[test]
+    fn error_selection_matches_serial_across_rounds_and_nodes() {
+        struct TwoFaults;
+        impl Algorithm for TwoFaults {
+            type Input = ();
+            type State = ();
+            type Msg = u32;
+            type Output = ();
+            fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<u32>) {
+                ((), Outbox::new())
+            }
+            fn round(&self, _s: &mut (), ctx: &NodeCtx<'_>, _i: &[(Port, u32)]) -> Step<u32> {
+                // Node 2 double-sends at round 5; node 35 double-sends
+                // at round 3. The earliest round wins regardless of
+                // node order or physical timing: the error must be
+                // node 35's, round 3.
+                let mut o = Outbox::new();
+                if ctx.node.raw() == 2 && ctx.round == 5 {
+                    o.send(Port(0), 1).send(Port(0), 2);
+                    return Step::Continue(o);
+                }
+                if ctx.node.raw() == 35 && ctx.round == 3 {
+                    o.send(Port(0), 1).send(Port(0), 2);
+                    return Step::Continue(o);
+                }
+                if ctx.round >= 6 {
+                    return Step::halt();
+                }
+                Step::idle()
+            }
+            fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+                Ok(())
+            }
+        }
+        let g = graphs::generators::path(40).unwrap();
+        let run_err = |kind: ExecutorKind| {
+            let cfg = NetworkConfig::default().with_executor(kind);
+            let mut net = Network::new(&g, cfg).unwrap();
+            net.run("faults", &TwoFaults, vec![(); 40]).unwrap_err()
+        };
+        let want = run_err(ExecutorKind::Serial);
+        assert!(
+            matches!(
+                &want,
+                CongestError::DoubleSend { node, round: 3, .. } if node.raw() == 35
+            ),
+            "serial picks the earliest round: {want:?}"
+        );
+        for plan in [
+            FaultPlan::lossless(),
+            FaultPlan::with_drop(150, 5).delayed(2),
+            FaultPlan::with_drop(250, 6).delayed(3).duplicated(100),
+        ] {
+            let got = run_err(ExecutorKind::Faulty(plan));
+            assert_eq!(got, want, "plan {plan:?}");
+        }
+    }
+
+    /// A livelocked algorithm still hits the virtual round cap.
+    #[test]
+    fn livelock_hits_the_virtual_round_cap() {
+        struct Livelock;
+        impl Algorithm for Livelock {
+            type Input = ();
+            type State = ();
+            type Msg = ();
+            type Output = ();
+            fn boot(&self, _c: &NodeCtx<'_>, _i: ()) -> ((), Outbox<()>) {
+                ((), Outbox::new())
+            }
+            fn round(&self, _s: &mut (), _c: &NodeCtx<'_>, _i: &[(Port, ())]) -> Step<()> {
+                Step::idle()
+            }
+            fn finish(&self, _s: (), _c: &NodeCtx<'_>) -> FinishResult<()> {
+                Ok(())
+            }
+        }
+        let g = graphs::generators::path(3).unwrap();
+        let cfg = NetworkConfig {
+            max_rounds: 40,
+            ..Default::default()
+        }
+        .with_fault_plan(FaultPlan::lossless());
+        let mut net = Network::new(&g, cfg).unwrap();
+        let err = net.run("livelock", &Livelock, vec![(); 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            CongestError::MaxRoundsExceeded { cap: 40, .. }
+        ));
+    }
+
+    /// A single isolated node runs to completion without any transport.
+    #[test]
+    fn single_node_needs_no_synchronizer() {
+        let g = graphs::WeightedGraph::from_edges(1, []).unwrap();
+        let out = run_flood(&g, ExecutorKind::faulty(), 4);
+        assert_eq!(out.outputs, vec![0]);
+        assert_eq!(out.metrics.rounds, 4);
+        assert_eq!(out.metrics.messages, 0);
+    }
+}

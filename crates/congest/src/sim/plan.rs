@@ -1,0 +1,199 @@
+//! The deterministic adversary model: a [`FaultPlan`] describes *which*
+//! faults the simulated network injects, and a seeded counter-mode hash
+//! decides *where* — so two runs with the same plan perturb the same
+//! frames, regardless of wall clock, thread count, or test ordering.
+//!
+//! Probabilities are stored per mille (integer ‰) rather than as floats:
+//! the coin arithmetic is pure integer (`hash % 1000 < p`), which keeps
+//! [`FaultPlan`] `Copy + Eq` (it lives inside
+//! [`crate::ExecutorKind::Faulty`]) and makes determinism independent of
+//! floating-point rounding.
+
+/// What the adversary is allowed to do to each transmitted frame, and
+/// how the α-synchronizer fights back. All knobs are deterministic
+/// functions of `seed`; the default plan is lossless (no drops, no
+/// duplicates, no delay), which isolates the synchronizer's own
+/// overhead.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed of every fault coin. Same seed + same plan ⇒ byte-identical
+    /// executions (see `sim_determinism`).
+    pub seed: u64,
+    /// Per-frame drop probability in ‰ (`0..=1000`; `1000` drops every
+    /// frame, which exhausts the retransmission budget by design).
+    pub drop_per_mille: u16,
+    /// Per-frame duplication probability in ‰. A duplicated frame is
+    /// delivered twice, each copy with its own delay draw; the receiver
+    /// deduplicates by sequence number.
+    pub dup_per_mille: u16,
+    /// Maximum extra delivery delay in ticks: each surviving frame
+    /// arrives `1 + d` ticks after transmission with `d` drawn uniformly
+    /// from `0..=max_delay`. Unequal delays reorder frames within the
+    /// window.
+    pub max_delay: u8,
+    /// Retransmission timeout: an unacknowledged payload (or an
+    /// unconfirmed safety announcement) is retransmitted every
+    /// `resend_after` ticks (≥ 1; `0` is treated as 1).
+    pub resend_after: u16,
+    /// Per-payload retransmission budget: a payload (or safety value)
+    /// transmitted more than this many times without acknowledgement
+    /// aborts the phase with
+    /// [`crate::CongestError::RetransmitExhausted`]. This is what turns
+    /// an adversary with `drop_per_mille = 1000` into a typed error
+    /// instead of a livelock.
+    pub max_attempts: u32,
+}
+
+impl Default for FaultPlan {
+    /// The lossless plan: perfect channels, so the only cost is the
+    /// synchronizer's ack/safety traffic and its round dilation.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x5EED_CA57,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            max_delay: 0,
+            resend_after: 4,
+            max_attempts: 64,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The lossless plan (alias of [`FaultPlan::default`]).
+    pub fn lossless() -> Self {
+        Self::default()
+    }
+
+    /// A lossy plan: drop probability in ‰ with the given seed, default
+    /// duplication (none), delay window 0, and default timers.
+    pub fn with_drop(drop_per_mille: u16, seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille,
+            ..Self::default()
+        }
+    }
+
+    /// This plan with the given delay window.
+    pub fn delayed(self, max_delay: u8) -> Self {
+        FaultPlan { max_delay, ..self }
+    }
+
+    /// This plan with the given duplication probability in ‰.
+    pub fn duplicated(self, dup_per_mille: u16) -> Self {
+        FaultPlan {
+            dup_per_mille,
+            ..self
+        }
+    }
+
+    /// The effective retransmission timeout (≥ 1 tick).
+    pub(crate) fn timeout(&self) -> u64 {
+        u64::from(self.resend_after.max(1))
+    }
+
+    /// Does the adversary drop the frame sent on directed edge `edge` at
+    /// `tick`?
+    pub(crate) fn drops(&self, edge: usize, tick: u64) -> bool {
+        per_mille(self.coin(edge, tick, SALT_DROP), self.drop_per_mille)
+    }
+
+    /// Does the adversary duplicate the frame sent on `edge` at `tick`?
+    pub(crate) fn duplicates(&self, edge: usize, tick: u64) -> bool {
+        per_mille(self.coin(edge, tick, SALT_DUP), self.dup_per_mille)
+    }
+
+    /// The extra delivery delay (in ticks, `0..=max_delay`) of copy
+    /// `copy` of the frame sent on `edge` at `tick`.
+    pub(crate) fn delay(&self, edge: usize, tick: u64, copy: u64) -> u64 {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        self.coin(edge, tick, SALT_DELAY ^ copy.wrapping_mul(MIX_C))
+            % (u64::from(self.max_delay) + 1)
+    }
+
+    /// One 64-bit coin for (`seed`, `edge`, `tick`, `salt`) — a
+    /// splitmix64 finalizer over the mixed key, so nearby keys decohere.
+    fn coin(&self, edge: usize, tick: u64, salt: u64) -> u64 {
+        let key = self
+            .seed
+            .wrapping_mul(MIX_A)
+            .wrapping_add((edge as u64).wrapping_mul(MIX_B))
+            .wrapping_add(tick.wrapping_mul(MIX_C))
+            .wrapping_add(salt);
+        splitmix64(key)
+    }
+}
+
+const SALT_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_DUP: u64 = 0xD1B5_4A32_D192_ED03;
+const SALT_DELAY: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+const MIX_A: u64 = 0xA24B_AED4_963E_E407;
+const MIX_B: u64 = 0x9FB2_1C65_1E98_DF25;
+const MIX_C: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// `true` with probability `p`/1000 given a uniform 64-bit coin.
+fn per_mille(coin: u64, p: u16) -> bool {
+    coin % 1000 < u64::from(p)
+}
+
+/// The splitmix64 output mixer (public-domain reference constants).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coins_are_deterministic_per_plan() {
+        let a = FaultPlan::with_drop(300, 7);
+        let b = FaultPlan::with_drop(300, 7);
+        for edge in 0..50 {
+            for tick in 0..50 {
+                assert_eq!(a.drops(edge, tick), b.drops(edge, tick));
+                assert_eq!(a.delay(edge, tick, 0), b.delay(edge, tick, 0));
+            }
+        }
+        let c = FaultPlan::with_drop(300, 8);
+        let agree = (0..1000)
+            .filter(|&t| a.drops(0, t) == c.drops(0, t))
+            .count();
+        assert!(agree < 1000, "different seeds must decohere");
+    }
+
+    #[test]
+    fn drop_rate_tracks_per_mille() {
+        let plan = FaultPlan::with_drop(200, 42);
+        let drops = (0..10_000).filter(|&t| plan.drops(3, t)).count();
+        assert!((1_700..2_300).contains(&drops), "drops = {drops}");
+        let never = FaultPlan::lossless();
+        assert!((0..10_000).all(|t| !never.drops(3, t)));
+        let always = FaultPlan::with_drop(1000, 1);
+        assert!((0..100).all(|t| always.drops(3, t)));
+    }
+
+    #[test]
+    fn delay_respects_window_and_copies_differ() {
+        let plan = FaultPlan::with_drop(0, 5).delayed(3);
+        let mut seen = [false; 4];
+        let mut copies_differ = false;
+        for t in 0..1000 {
+            let d = plan.delay(9, t, 0);
+            assert!(d <= 3);
+            seen[d as usize] = true;
+            if plan.delay(9, t, 1) != d {
+                copies_differ = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all delays in the window occur");
+        assert!(copies_differ, "duplicate copies draw their own delay");
+        assert_eq!(FaultPlan::lossless().delay(9, 1, 0), 0);
+    }
+}

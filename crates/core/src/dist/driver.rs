@@ -66,6 +66,18 @@ impl ExactConfig {
             ..self
         }
     }
+
+    /// This config driven over a lossy asynchronous network: the
+    /// fault-injecting executor (`congest::sim`) under `plan`. The cut,
+    /// side, trees, and arg-min are bit-identical to the serial run
+    /// (`tests/sim_parity.rs`); the ledger's `sim` counters report what
+    /// the α-synchronizer paid for that.
+    pub fn with_fault_plan(self, plan: congest::sim::FaultPlan) -> Self {
+        ExactConfig {
+            network: self.network.with_fault_plan(plan),
+            ..self
+        }
+    }
 }
 
 /// Result of a distributed minimum-cut run.
