@@ -26,6 +26,7 @@
 use congest::{ExecutorKind, MetricsLedger};
 use graphs::generators;
 use mincut::dist::driver::{exact_mincut, ExactConfig};
+use mincut::dist::{recover_mincut, RecoverConfig};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +43,13 @@ struct Sample {
     messages: u64,
     cut: u64,
     wall_ms: f64,
+    /// Original ids of the nodes the crash schedule killed (chaos rows;
+    /// empty for every crash-free row).
+    crashed: Vec<usize>,
+    /// Rounds spent on failed attempts + censuses (`recover.*` phases).
+    recovery_rounds: u64,
+    /// Messages spent on failed attempts + censuses.
+    recovery_messages: u64,
     ledger: MetricsLedger,
 }
 
@@ -79,7 +87,7 @@ fn run(
         },
         ..Default::default()
     }
-    .with_executor(executor.1);
+    .with_executor(executor.1.clone());
     let t = Instant::now();
     let r = exact_mincut(g, &cfg).expect("smoke instance must run");
     Sample {
@@ -92,6 +100,45 @@ fn run(
         messages: r.messages,
         cut: r.cut.value,
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        crashed: Vec::new(),
+        recovery_rounds: 0,
+        recovery_messages: 0,
+        ledger: r.ledger,
+    }
+}
+
+/// The chaos row: the self-healing driver under [`mincut_bench::chaos_plan`]
+/// (the `SMOKE_FAULTS` link adversary plus the `SMOKE_CRASHES` leader
+/// kill). Its `crashed` / `recovery_*` columns are what the crash-plan
+/// satellite tracks; `chaos_gate` budgets the same numbers on
+/// torus24x24.
+fn run_chaos(instance: &str, g: &graphs::WeightedGraph, trees: usize) -> Sample {
+    let cfg = RecoverConfig {
+        base: ExactConfig {
+            packing: PackingConfig {
+                size: PackingSize::Fixed(trees),
+                max_trees: trees,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_plan(mincut_bench::chaos_plan());
+    let t = Instant::now();
+    let r = recover_mincut(g, &cfg).expect("chaos instance must recover");
+    Sample {
+        instance: instance.to_string(),
+        executor: "chaos",
+        threads: 1,
+        n: g.node_count(),
+        rounds: r.rounds,
+        phys_rounds: r.ledger.total_phys_rounds(),
+        messages: r.messages,
+        cut: r.cut.value,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        crashed: r.dead.iter().map(|v| v.index()).collect(),
+        recovery_rounds: r.recovery_rounds,
+        recovery_messages: r.recovery_messages,
         ledger: r.ledger,
     }
 }
@@ -99,15 +146,23 @@ fn run(
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
     let mut samples = Vec::new();
-    for executor in EXECUTORS {
+    for executor in &EXECUTORS {
         for side in [12usize, 24] {
             let g = generators::torus2d(side, side).unwrap();
-            samples.push(run(&format!("torus{side}x{side}"), &g, 3, executor));
+            samples.push(run(&format!("torus{side}x{side}"), &g, 3, executor.clone()));
         }
         for h in [16usize, 32] {
             let g = generators::clique_pair(h, 3).unwrap().graph;
-            samples.push(run(&format!("clique_pair{h}"), &g, 3, executor));
+            samples.push(run(&format!("clique_pair{h}"), &g, 3, executor.clone()));
         }
+    }
+    // The chaos rows: same adversary as the faulty rows *plus* the
+    // shared leader-kill schedule, healed by the recovery driver. Torus
+    // family only — that is the canonical chaos instance `chaos_gate`
+    // budgets, and one family keeps the trend probe in seconds.
+    for side in [12usize, 24] {
+        let g = generators::torus2d(side, side).unwrap();
+        samples.push(run_chaos(&format!("torus{side}x{side}"), &g, 3));
     }
     if large {
         let g = mincut_bench::large_n_graph();
@@ -120,12 +175,16 @@ fn main() {
     // `overhead` column is the synchronizer's round-overhead factor
     // (`phys_rounds / rounds`; 1.0 for the fault-free executors) — the
     // tracked curve for "what does asynchrony cost the paper's bound".
+    // The crash-plan columns (`crashed`, `recovery_rounds`,
+    // `recovery_msg_share`) are zero everywhere except the chaos rows,
+    // where they track what healing the leader kill costs.
     let mut json = String::from("{\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
+        let crashed: Vec<String> = s.crashed.iter().map(|v| v.to_string()).collect();
         writeln!(
             json,
-            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"wall_ms\": {:.3}}}{sep}",
+            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"crashed\": [{}], \"recovery_rounds\": {}, \"recovery_msg_share\": {:.3}, \"wall_ms\": {:.3}}}{sep}",
             s.instance,
             s.executor,
             s.threads,
@@ -135,6 +194,9 @@ fn main() {
             s.phys_rounds as f64 / s.rounds.max(1) as f64,
             s.messages,
             s.cut,
+            crashed.join(", "),
+            s.recovery_rounds,
+            s.recovery_messages as f64 / s.messages.max(1) as f64,
             s.wall_ms
         )
         .expect("write to string");
@@ -187,6 +249,18 @@ fn main() {
             s.ledger.total_dropped(),
             s.ledger.total_retransmitted(),
             s.ledger.total_duplicated(),
+        );
+    }
+    // What healing costs: the chaos rows' crash + recovery accounting.
+    for s in samples.iter().filter(|s| s.executor == "chaos") {
+        println!(
+            "chaos {}: crashed {:?}, cut {}, recovery {} rounds / {:.1}% of {} msgs",
+            s.instance,
+            s.crashed,
+            s.cut,
+            s.recovery_rounds,
+            100.0 * s.recovery_messages as f64 / s.messages.max(1) as f64,
+            s.messages,
         );
     }
     println!("wrote BENCH_rounds.json ({} samples)", samples.len());

@@ -18,7 +18,35 @@ pub const SMOKE_FAULTS: congest::sim::FaultPlan = congest::sim::FaultPlan {
     max_delay: 2,
     resend_after: 4,
     max_attempts: 64,
+    crashes: Vec::new(),
+    suspect_patience: congest::sim::DEFAULT_SUSPECT_PATIENCE,
+    on_suspect: congest::sim::SuspicionPolicy::Abort,
 };
+
+/// The canonical crash schedule of the chaos harness: kill node 0 — the
+/// leader under the min-id election — mid-`mstA` on the canonical chaos
+/// instance. On `torus24x24` the pipeline's virtual-round schedule puts
+/// `leader_bfs` at rounds 0..86, `init.deg` at 86..111, and the first
+/// MST fragment-growth level `mstA.l0.*` at 111..116, so round 114 lands
+/// inside `mstA.l0.hook`; `chaos_gate` asserts the aborted phase on
+/// every CI run, so a drift in the phase spans is caught, not silently
+/// tolerated. Layered on [`SMOKE_FAULTS`] by [`chaos_plan`] so the chaos
+/// rows and the CI gate measure the same adversary.
+pub const SMOKE_CRASHES: &[congest::sim::CrashEvent] = &[congest::sim::CrashEvent {
+    node: 0,
+    at_round: 114,
+    rejoin: None,
+}];
+
+/// [`SMOKE_FAULTS`] with the [`SMOKE_CRASHES`] schedule armed — the
+/// adversary of `bench_smoke`'s chaos rows and of the `chaos_gate` CI
+/// binary.
+pub fn chaos_plan() -> congest::sim::FaultPlan {
+    congest::sim::FaultPlan {
+        crashes: SMOKE_CRASHES.to_vec(),
+        ..SMOKE_FAULTS
+    }
+}
 
 /// The canonical large-`n` instance: the 70602-node 3D torus + chords
 /// with certified λ = 6 that `tests/large_n.rs` gates (the umbrella

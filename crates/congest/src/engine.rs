@@ -168,7 +168,11 @@ impl<'g> Network<'g> {
         algo: &A,
         inputs: Vec<A::Input>,
     ) -> Result<RunOutcome<A::Output>, CongestError> {
-        match self.config.executor {
+        // Clone the kind out first: `run_with` borrows all of `self`,
+        // and `ExecutorKind` is no longer `Copy` (fault plans carry
+        // crash schedules).
+        let kind = self.config.executor.clone();
+        match kind {
             ExecutorKind::Serial => self.run_with(&SerialExecutor, name, algo, inputs),
             ExecutorKind::Parallel { threads } => {
                 self.run_with(&ParallelExecutor::with_threads(threads), name, algo, inputs)
@@ -214,6 +218,7 @@ impl<'g> Network<'g> {
             cap: self.config.effective_max_rounds(n),
             max_degree: self.max_degree,
             parallel_inline_threshold: self.config.parallel_inline_threshold,
+            base_round: self.ledger.total_rounds(),
         };
         let t = trace_enabled().then(std::time::Instant::now);
         let (outputs, metrics) = executor.run_phase(&spec, algo, inputs)?;

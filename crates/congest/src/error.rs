@@ -89,12 +89,36 @@ pub enum CongestError {
         phase: String,
         /// The sending node whose channel starved.
         node: NodeId,
-        /// The port of the starved channel.
+        /// The destination node of the starved directed edge (`node` →
+        /// `peer`) — with crash schedules in play this names the likely
+        /// culprit directly.
+        peer: NodeId,
+        /// The port of the starved channel (`node`'s local name for the
+        /// edge).
         port: Port,
         /// The virtual (algorithm) round the stuck payload belongs to.
         round: u64,
         /// Transmissions attempted before giving up.
         attempts: u32,
+    },
+    /// The faulty executor's failure detector suspected a crashed peer
+    /// while the plan's policy is
+    /// [`crate::sim::SuspicionPolicy::Abort`]: `by` heard nothing from
+    /// `node` for the plan's full suspicion window
+    /// ([`crate::sim::FaultPlan::suspect_after`] ticks). A recovery
+    /// driver catches this, maps the surviving component, and re-runs
+    /// there (`mincut::dist::recover`).
+    NodeSuspected {
+        /// Phase in which the suspicion fired.
+        phase: String,
+        /// The suspected (presumed crashed) node.
+        node: NodeId,
+        /// The neighbor whose detector fired.
+        by: NodeId,
+        /// The session-global virtual round reached when the suspicion
+        /// fired (phase base + rounds executed in this phase) — the
+        /// clock a recovery driver rebases the crash schedule against.
+        round: u64,
     },
     /// Node code reported a protocol violation from
     /// [`crate::Algorithm::finish`] (see
@@ -158,12 +182,22 @@ impl fmt::Display for CongestError {
             CongestError::RetransmitExhausted {
                 phase,
                 node,
+                peer,
                 port,
                 round,
                 attempts,
             } => write!(
                 f,
-                "phase {phase:?} round {round}: node {node} gave up on {port} after {attempts} transmissions (retransmission budget exhausted)"
+                "phase {phase:?} round {round}: node {node} gave up on {port} toward node {peer} after {attempts} transmissions (retransmission budget exhausted)"
+            ),
+            CongestError::NodeSuspected {
+                phase,
+                node,
+                by,
+                round,
+            } => write!(
+                f,
+                "phase {phase:?} round {round}: node {by} suspects node {node} of having crashed (silent for the full suspicion window)"
             ),
             CongestError::Protocol {
                 phase,

@@ -37,8 +37,9 @@ use crate::node::{NeighborInfo, NodeCtx};
 use graphs::NodeId;
 use sweep::{execute_sweep, Domain, ExecMode, PhaseState, Sweep, SweepStats};
 
-/// Which round executor a [`crate::Network`] uses.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+/// Which round executor a [`crate::Network`] uses. (Not `Copy`: a
+/// [`crate::sim::FaultPlan`] carries a crash schedule.)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum ExecutorKind {
     /// The single-threaded executor (deterministic, zero thread overhead).
     #[default]
@@ -70,12 +71,12 @@ impl ExecutorKind {
 
     /// The worker count this kind resolves to (≥ 1).
     pub fn effective_threads(&self) -> usize {
-        match *self {
+        match self {
             ExecutorKind::Serial | ExecutorKind::Faulty(_) => 1,
             ExecutorKind::Parallel { threads: 0 } => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
-            ExecutorKind::Parallel { threads } => threads,
+            ExecutorKind::Parallel { threads } => *threads,
         }
     }
 }
@@ -103,10 +104,17 @@ pub struct PhaseSpec<'a> {
     pub(crate) max_degree: usize,
     /// See [`crate::NetworkConfig::parallel_inline_threshold`].
     pub(crate) parallel_inline_threshold: usize,
+    /// The session's virtual rounds consumed before this phase
+    /// (`ledger.total_rounds()` at phase start) — the offset that maps
+    /// the *global* rounds of a [`crate::sim::CrashEvent`] schedule to
+    /// this phase's local rounds. Fault-free executors ignore it.
+    pub(crate) base_round: u64,
 }
 
 impl PhaseSpec<'_> {
-    /// The local context of node `v` at `round`.
+    /// The local context of node `v` at `round` (no suspicions: the
+    /// fault-free executors never suspect anyone; the faulty executor
+    /// swaps in its live suspicion view).
     pub(crate) fn ctx(&self, v: usize, round: u64) -> NodeCtx<'_> {
         NodeCtx {
             node: NodeId::from_index(v),
@@ -114,6 +122,7 @@ impl PhaseSpec<'_> {
             bandwidth_bits: self.bandwidth_bits,
             round,
             neighbors: &self.neighbors[v],
+            suspected: &[],
         }
     }
 }

@@ -52,6 +52,15 @@ pub struct SimPhaseStats {
     pub dropped: u64,
     /// Frames the adversary duplicated.
     pub duplicated: u64,
+    /// Crash suspicions raised by the failure detector (a channel silent
+    /// for the plan's full suspicion window). Always 0 under crash-free
+    /// plans — the detector only arms when the plan schedules crashes.
+    pub suspicions: u64,
+    /// Suspicions whose target was in fact alive at the time (ground
+    /// truth from the crash schedule). The detector is *eventually
+    /// accurate*, not perfect: these are revoked when the suspect's next
+    /// frame arrives, but they are counted here.
+    pub false_suspicions: u64,
 }
 
 impl SimPhaseStats {
@@ -63,6 +72,8 @@ impl SimPhaseStats {
         self.retransmitted += other.retransmitted;
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
+        self.suspicions += other.suspicions;
+        self.false_suspicions += other.false_suspicions;
     }
 }
 
@@ -206,6 +217,17 @@ impl MetricsLedger {
         self.phases.iter().map(|p| p.sim.duplicated).sum()
     }
 
+    /// Total crash suspicions the failure detector raised across phases.
+    pub fn total_suspicions(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.suspicions).sum()
+    }
+
+    /// Total *false* suspicions (live nodes wrongly suspected, later
+    /// rehabilitated) across phases.
+    pub fn total_false_suspicions(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.false_suspicions).sum()
+    }
+
     /// Aggregates the recorded phases by label *stem* — the phase name up
     /// to the first `'.'` (`"mstA.l3.cand"` → `"mstA"`, `"leader_bfs"` →
     /// `"leader_bfs"`) — in order of first appearance. This is the
@@ -341,6 +363,8 @@ mod tests {
             retransmitted: 4,
             dropped: 3,
             duplicated: 1,
+            suspicions: 2,
+            false_suspicions: 1,
         };
         let mut l = MetricsLedger::new();
         l.push(faulty);
@@ -358,6 +382,8 @@ mod tests {
         assert_eq!(l.total_dropped(), 3);
         assert_eq!(l.total_duplicated(), 1);
         assert_eq!(l.total_retransmitted(), 4);
+        assert_eq!(l.total_suspicions(), 2);
+        assert_eq!(l.total_false_suspicions(), 1);
         let f = l.sim_overhead_factor();
         assert!((f - 56.0 / 26.0).abs() < 1e-9, "factor = {f}");
         assert_eq!(MetricsLedger::new().sim_overhead_factor(), 1.0);

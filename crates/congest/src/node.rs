@@ -54,6 +54,10 @@ pub struct NodeCtx<'a> {
     /// `boot`). All nodes see the same value — the model is synchronous.
     pub round: u64,
     pub(crate) neighbors: &'a [NeighborInfo],
+    /// Per-port suspicion flags of the faulty executor's failure
+    /// detector (empty — nobody suspected — under fault-free executors
+    /// and crash-free plans). Indexed like the adjacency list.
+    pub(crate) suspected: &'a [bool],
 }
 
 impl NodeCtx<'_> {
@@ -95,6 +99,34 @@ impl NodeCtx<'_> {
     /// The node's weighted degree `δ(v)`.
     pub fn weighted_degree(&self) -> Weight {
         self.neighbors.iter().map(|ni| ni.weight).sum()
+    }
+
+    /// Does this node currently suspect the peer behind `port` of
+    /// having crashed? Driven by the faulty executor's timeout-based
+    /// failure detector (`docs/sim.md`); always `false` under the
+    /// fault-free executors and under crash-free plans. Suspicion is
+    /// *eventually accurate*, not instant: a crashed peer is suspected
+    /// only after [`crate::sim::FaultPlan::suspect_after`] silent ticks,
+    /// and a live peer wrongly suspected is rehabilitated by its next
+    /// arriving frame.
+    pub fn suspects(&self, port: Port) -> bool {
+        self.suspected.get(port.index()).copied().unwrap_or(false)
+    }
+
+    /// All currently suspected ports, in increasing order.
+    pub fn suspected_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        self.suspected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| Port(i as u32))
+    }
+
+    /// The node identifiers of all currently suspected neighbors.
+    pub fn suspected_ids(&self) -> Vec<NodeId> {
+        self.suspected_ports()
+            .map(|p| self.neighbor(p).id)
+            .collect()
     }
 }
 

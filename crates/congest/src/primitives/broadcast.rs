@@ -258,6 +258,7 @@ mod tests {
             bandwidth_bits: 64,
             round: 1,
             neighbors: &neighbors,
+            suspected: &[],
         };
         let err = Broadcast::<u64>::new().finish(state, &ctx).unwrap_err();
         assert!(err.reason.contains("never received"));

@@ -1,0 +1,181 @@
+//! Timeout-based failure detection as a CONGEST phase.
+//!
+//! [`FailureDetector`] is a deliberately silent algorithm: every node
+//! idles for a fixed number of virtual rounds and reports, at `finish`,
+//! which neighbors the transport-level detector of
+//! [`crate::sim::FaultyExecutor`] currently suspects. It sends **no
+//! payloads at all** — virtual rounds advance purely on the
+//! α-synchronizer's safety gossip, and in crash mode the executor's
+//! keepalives keep every live channel warm — so the only channels that
+//! go silent are those whose sender actually crashed.
+//!
+//! Run it under a crash-scheduling [`crate::sim::FaultPlan`] with
+//! [`SuspicionPolicy::Continue`](crate::sim::SuspicionPolicy) (a plan
+//! with the default `Abort` policy would end the phase at the first
+//! suspicion instead of completing the census). The timing works out as
+//! follows: a neighbor of a dead node cannot execute rounds past the
+//! dead node's last announced safe round — the α rule holds it in place
+//! — so it *cannot* halt before the suspicion window
+//! ([`crate::sim::FaultPlan::suspect_after`] physical ticks) elapses and
+//! the suspicion both releases it and lands in its report. Nodes with
+//! only live neighbors complete their rounds unimpeded and report empty
+//! suspect sets. Crashed nodes produce zombie reports with
+//! [`FdReport::completed`] `== false` (they executed fewer than the
+//! configured rounds), which is how a recovery driver knows to ignore
+//! them; the union of `suspects` over completed reports covers every
+//! dead node adjacent to a survivor.
+//!
+//! This is the proposal-timeout idiom of consensus protocols recast as
+//! a standalone phase: suspicion is *eventually accurate* (every
+//! crashed neighbor is eventually suspected; a live node wrongly
+//! suspected is rehabilitated by its next arriving frame), and the
+//! per-phase suspicion counters in [`crate::SimPhaseStats`] meter how
+//! often each case occurred.
+
+use crate::algorithm::{Algorithm, FinishResult, Outbox, Step};
+use crate::node::{NodeCtx, Port};
+use crate::sim::FaultPlan;
+use graphs::NodeId;
+
+/// The idle heartbeat-census phase. See the module docs.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    /// Virtual rounds every live node idles through before halting.
+    rounds: u64,
+}
+
+impl FailureDetector {
+    /// A detector phase idling for `rounds` virtual rounds (min 1).
+    pub fn new(rounds: u64) -> Self {
+        FailureDetector {
+            rounds: rounds.max(1),
+        }
+    }
+
+    /// The canonical sizing for `plan`: as many virtual rounds as the
+    /// plan's suspicion window has ticks (each virtual round costs at
+    /// least one tick, so nodes far from any crash stay live past the
+    /// time the first suspicions can fire, and transient false
+    /// suspicions get time to be rehabilitated before reports are
+    /// taken).
+    pub fn for_plan(plan: &FaultPlan) -> Self {
+        FailureDetector::new(plan.suspect_after())
+    }
+
+    /// The configured number of idle rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// One node's census report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdReport {
+    /// The node executed every configured round — it lived through the
+    /// whole phase. Zombie reports of crashed nodes have `false` here
+    /// and must be ignored.
+    pub completed: bool,
+    /// Neighbors this node suspected at phase end, ascending.
+    pub suspects: Vec<NodeId>,
+}
+
+/// Per-node state: the last round actually executed.
+#[derive(Clone, Debug, Default)]
+pub struct FdState {
+    last_round: u64,
+}
+
+impl Algorithm for FailureDetector {
+    type Input = ();
+    type State = FdState;
+    type Msg = ();
+    type Output = FdReport;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, _input: ()) -> (FdState, Outbox<()>) {
+        (FdState::default(), Outbox::new())
+    }
+
+    fn round(&self, s: &mut FdState, ctx: &NodeCtx<'_>, _inbox: &[(Port, ())]) -> Step<()> {
+        s.last_round = ctx.round;
+        if ctx.round >= self.rounds {
+            Step::halt()
+        } else {
+            Step::idle()
+        }
+    }
+
+    fn finish(&self, s: FdState, ctx: &NodeCtx<'_>) -> FinishResult<FdReport> {
+        Ok(FdReport {
+            completed: s.last_round >= self.rounds,
+            suspects: ctx.suspected_ids(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::Network;
+    use crate::sim::FaultPlan;
+
+    fn census(g: &graphs::WeightedGraph, plan: FaultPlan) -> Vec<FdReport> {
+        let det = FailureDetector::for_plan(&plan);
+        let cfg = NetworkConfig::default().with_fault_plan(plan);
+        let mut net = Network::new(g, cfg).unwrap();
+        net.run("detect", &det, vec![(); g.node_count()])
+            .expect("the census completes")
+            .outputs
+    }
+
+    #[test]
+    fn crash_free_census_is_all_clear() {
+        let g = graphs::generators::grid2d(3, 4).unwrap();
+        // An unreachable crash arms detection without killing anyone.
+        let reports = census(&g, FaultPlan::lossless().with_crash(0, 1 << 40));
+        for r in &reports {
+            assert!(r.completed);
+            assert!(r.suspects.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_neighbor_of_a_dead_node_reports_it() {
+        let g = graphs::generators::grid2d(3, 3).unwrap();
+        // Node 4 is the center of the grid: 4 neighbors.
+        let plan = FaultPlan::lossless()
+            .with_crash(4, 0)
+            .continue_on_suspicion();
+        let reports = census(&g, plan);
+        assert!(!reports[4].completed, "the dead node is a zombie");
+        assert!(reports[4].suspects.is_empty(), "zombies report nothing");
+        for (v, r) in reports.iter().enumerate() {
+            if v == 4 {
+                continue;
+            }
+            assert!(r.completed, "node {v} lives");
+            let adjacent = [1usize, 3, 5, 7].contains(&v);
+            let sees_dead = r.suspects.contains(&NodeId::new(4));
+            assert_eq!(sees_dead, adjacent, "node {v}: suspects {:?}", r.suspects);
+            assert_eq!(r.suspects.len(), usize::from(adjacent));
+        }
+    }
+
+    #[test]
+    fn correlated_group_crash_is_fully_covered() {
+        let g = graphs::generators::torus2d(4, 4).unwrap();
+        let plan = FaultPlan::with_drop(50, 3)
+            .delayed(1)
+            .with_crash_group(&[5, 6], 0)
+            .continue_on_suspicion();
+        let reports = census(&g, plan);
+        let mut suspected: Vec<u32> = reports
+            .iter()
+            .filter(|r| r.completed)
+            .flat_map(|r| r.suspects.iter().map(|id| id.raw()))
+            .collect();
+        suspected.sort_unstable();
+        suspected.dedup();
+        assert_eq!(suspected, vec![5, 6], "exactly the dead, nobody else");
+    }
+}

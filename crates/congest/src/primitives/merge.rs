@@ -250,6 +250,7 @@ mod tests {
             bandwidth_bits: 64,
             round: 1,
             neighbors,
+            suspected: &[],
         }
     }
 

@@ -22,6 +22,10 @@
 //! * [`exchange`] — one-round neighbor exchange (full and delta: only
 //!   changed values are announced), and pipelined per-edge list exchange
 //!   (`O(k)` rounds).
+//! * [`failure_detector`] — the idle heartbeat census: under a
+//!   crash-scheduling fault plan, every live node reports which
+//!   neighbors the transport's timeout detector suspects (the recovery
+//!   driver's view of who died).
 //!
 //! All tree primitives take a [`crate::TreeInfo`] per node and work on
 //! *forests*: a "root" is any node with `parent == None`, and disjoint trees
@@ -32,6 +36,7 @@
 pub mod broadcast;
 pub mod convergecast;
 pub mod exchange;
+pub mod failure_detector;
 pub mod grouped;
 pub mod grouped_min;
 pub mod leader_bfs;
@@ -44,6 +49,7 @@ pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
 pub use exchange::DeltaExchange;
 pub use exchange::{EdgeListExchange, NeighborExchange};
+pub use failure_detector::{FailureDetector, FdReport};
 pub use grouped::{GroupedSum, KeyedSum, SumMonoid};
 pub use grouped_min::{BestMonoid, GroupedBest, KeyedItem, KeyedMin};
 pub use leader_bfs::{Election, LeaderBfs, LeaderBfsOutput};

@@ -39,14 +39,43 @@
 //!   their virtual round, and inboxes are replayed in port order, so the
 //!   per-node state trajectory is the synchronous trajectory.
 //!
+//! # Crash faults and failure detection
+//!
+//! When the plan schedules [`crate::sim::CrashEvent`]s, nodes
+//! **fail-stop** at their scheduled virtual round: a crashed node
+//! executes no further rounds, sends nothing, acks nothing, and its
+//! inbound frames vanish. Because a node only reaches round `r` after
+//! all its earlier payloads are acked, a crash at a round boundary
+//! leaves no half-delivered state — the crash is exactly "the node ran
+//! rounds `< r` of this phase, then went silent".
+//!
+//! Detection is timeout-based, layered on the machinery above. In
+//! crash mode every live node *keeps each still-relevant channel warm*
+//! (one control frame per [`FaultPlan::timeout`] ticks even when idle),
+//! so a channel silent for the plan's full suspicion window
+//! ([`FaultPlan::suspect_after`] ticks) marks its sender **suspected**.
+//! Suspicion is advisory and revocable — it overrides the suspect's
+//! *effective* safe count (never the recorded one), quiesces the
+//! channel toward it, and is cleared by the suspect's next arriving
+//! frame — so it is *eventually accurate*: every crashed neighbor is
+//! eventually suspected, and no live node stays suspected. What the
+//! first suspicion does is the plan's
+//! [`SuspicionPolicy`](crate::sim::SuspicionPolicy): abort the phase
+//! with a typed [`CongestError::NodeSuspected`] (default — a recovery
+//! driver's cue), or continue and expose the suspected set through
+//! [`crate::NodeCtx::suspects`]. Crash-free plans take none of these
+//! paths — no keepalives, no detector — and remain bit-identical to
+//! the fault-free executors.
+//!
 //! # Accounting
 //!
 //! The algorithm-level [`PhaseMetrics`] fields (rounds, messages, bits,
 //! `max_message_bits`, `max_edge_load_bits`) count **payloads at virtual
 //! rounds** — they match the fault-free run. The transport's work
-//! (ticks, data/control frames, retransmissions, drops, duplicates)
-//! lands in [`SimPhaseStats`], which is where the synchronizer's
-//! round-overhead factor (`sim.phys_rounds / rounds`) comes from.
+//! (ticks, data/control frames, retransmissions, drops, duplicates,
+//! suspicions) lands in [`SimPhaseStats`], which is where the
+//! synchronizer's round-overhead factor (`sim.phys_rounds / rounds`)
+//! comes from.
 
 use crate::algorithm::{Algorithm, Step};
 use crate::error::CongestError;
@@ -54,15 +83,16 @@ use crate::executor::{PhaseSpec, RoundExecutor};
 use crate::message::Message;
 use crate::metrics::{PhaseMetrics, SimPhaseStats};
 use crate::node::Port;
-use crate::sim::plan::FaultPlan;
+use crate::sim::plan::{FaultPlan, SuspicionPolicy};
 use graphs::NodeId;
 use std::collections::BTreeMap;
 
 /// The fault-injecting round executor. See the module docs for the
 /// protocol; construct one from a [`FaultPlan`] (or select it with
 /// [`crate::ExecutorKind::Faulty`]) and pass it to
-/// [`crate::Network::run_with`].
-#[derive(Copy, Clone, Debug, Default)]
+/// [`crate::Network::run_with`]. Not `Copy`: the plan may carry a
+/// crash schedule.
+#[derive(Clone, Debug, Default)]
 pub struct FaultyExecutor {
     plan: FaultPlan,
 }
@@ -196,6 +226,22 @@ struct Machine<'a, A: Algorithm> {
     metrics: PhaseMetrics,
     sim: SimPhaseStats,
     edge_load: Vec<u64>,
+    /// Crash machinery (armed only when the plan schedules crashes).
+    /// Phase-local round before which each node fails (`u64::MAX` =
+    /// never): the node executes rounds `< crash_local[v]` only.
+    crash_local: Vec<u64>,
+    /// Nodes that have executed their fail-stop.
+    crashed: Vec<bool>,
+    /// Per receive slot: the last tick a frame arrived on it.
+    last_heard: Vec<u64>,
+    /// Per receive slot: the receiver currently suspects the sender of
+    /// having crashed (advisory, cleared by the next arrival).
+    suspected: Vec<bool>,
+    /// `plan.has_crashes()` — gates keepalives and the detector so
+    /// crash-free plans stay bit-identical to PR 5 behavior.
+    detect: bool,
+    /// Cached [`FaultPlan::suspect_after`] window.
+    suspect_after: u64,
 }
 
 impl<'a, A: Algorithm> Machine<'a, A> {
@@ -246,6 +292,17 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             },
             sim: SimPhaseStats::default(),
             edge_load: vec![0u64; total],
+            crash_local: (0..n)
+                .map(|v| {
+                    plan.crash_round_of(v as u32, spec.base_round)
+                        .unwrap_or(u64::MAX)
+                })
+                .collect(),
+            crashed: vec![false; n],
+            last_heard: vec![0u64; total],
+            suspected: vec![false; total],
+            detect: plan.has_crashes(),
+            suspect_after: plan.suspect_after(),
         }
     }
 
@@ -310,8 +367,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let out = self.spec.write_slot[s];
             // `s` receives from the same neighbor `out` sends to: a peer
             // announced permanently safe never advances again and needs
-            // no more safety gossip from us.
-            if self.rx[s].peer_safe != u64::MAX && self.tx[out].peer_safe_seen < safe {
+            // no more safety gossip from us. A suspected peer is treated
+            // the same (it would never echo); if the suspicion turns out
+            // false, the rehabilitation path re-activates the channel.
+            if self.rx[s].peer_safe != u64::MAX
+                && !self.suspected[s]
+                && self.tx[out].peer_safe_seen < safe
+            {
                 self.tx[out].dirty = true;
                 self.tx[out].safe_attempts = 0;
                 self.activate(out);
@@ -438,7 +500,31 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 return false;
             }
         }
-        (self.spec.slot_base[v]..self.spec.slot_base[v + 1]).all(|s| self.rx[s].peer_safe >= next)
+        // A suspected peer's *effective* safe count is `u64::MAX` — we
+        // stop waiting for it (that is what lets survivors make
+        // progress around a crash). Its recorded safe count is left
+        // untouched so a false suspicion, once revoked, restores the
+        // exact synchronous gating.
+        (self.spec.slot_base[v]..self.spec.slot_base[v + 1])
+            .all(|s| self.suspected[s] || self.rx[s].peer_safe >= next)
+    }
+
+    /// Executes a scheduled fail-stop: the node stops executing,
+    /// sending, and acking; its channels go silent and its peers'
+    /// failure detectors take over. It no longer counts as live, so
+    /// phase completion does not wait for it. Called only at round
+    /// boundaries (`may_advance` guarantees `unacked == 0` there), so
+    /// a crash never strands a half-delivered payload of its own.
+    fn kill(&mut self, v: usize) {
+        debug_assert_eq!(
+            self.nodes[v].unacked, 0,
+            "crashes happen at round boundaries"
+        );
+        self.crashed[v] = true;
+        if !self.nodes[v].halted {
+            self.nodes[v].halted = true;
+            self.live -= 1;
+        }
     }
 
     fn advance_node(&mut self, v: usize) {
@@ -446,6 +532,12 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         let algo = self.algo;
         while self.may_advance(v) {
             let q = self.nodes[v].round + 1;
+            // The plan's fail-stop: the node executes rounds
+            // `< crash_local[v]` only (`u64::MAX` when unscheduled).
+            if q >= self.crash_local[v] {
+                self.kill(v);
+                return;
+            }
             if q > spec.cap {
                 self.record_err(
                     q,
@@ -460,7 +552,11 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let mut inbox = self.inboxes[v].remove(&q).unwrap_or_default();
             inbox.sort_by_key(|(p, _)| *p);
             let mut state = self.nodes[v].state.take().expect("booted node has state");
-            let ctx = spec.ctx(v, q);
+            let mut ctx = spec.ctx(v, q);
+            // A node's receive slots are contiguous in the CSR arena, so
+            // its detector view is a zero-copy slice (all-false under
+            // crash-free plans — identical to the fault-free executors).
+            ctx.suspected = &self.suspected[spec.slot_base[v]..spec.slot_base[v + 1]];
             let step = algo.round(&mut state, &ctx, &inbox);
             self.nodes[v].state = Some(state);
             self.nodes[v].round = q;
@@ -504,6 +600,12 @@ impl<'a, A: Algorithm> Machine<'a, A> {
     /// Processes one arriving frame on edge `d`.
     fn process_arrival(&mut self, d: usize, f: Frame<A::Msg>) {
         let v = self.slot_owner[d] as usize;
+        // A crashed receiver is gone: the frame vanishes — no ack, no
+        // gossip, no inbox entry, and in particular no
+        // `MessageToHalted` (the sender could not have known).
+        if self.crashed[v] {
+            return;
+        }
         let out = self.rev(d);
         // Safety gossip from the sender.
         if f.safe_upto > self.rx[d].peer_safe {
@@ -591,10 +693,19 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         edges.sort_unstable_by_key(|&d| self.spec.write_slot[d]);
         for d in edges {
             let u = self.sender(d);
+            // Dead senders transmit nothing, ever.
+            if self.crashed[u] {
+                self.is_active[d] = false;
+                continue;
+            }
+            let rev = self.rev(d);
             let t = &self.tx[d];
             let timer_due = t.attempts == 0 || tick >= t.last_send + timeout;
             let data_due = t.data.is_some() && timer_due;
-            let peer_done = self.rx[self.rev(d)].peer_safe == u64::MAX;
+            // A suspected peer counts as done for *safety* purposes: it
+            // will never echo, and without this the gossip path would
+            // burn its retransmission budget against a dead node.
+            let peer_done = self.rx[rev].peer_safe == u64::MAX || self.suspected[rev];
             let needs_safety = !peer_done && t.peer_safe_seen < self.nodes[u].safe;
             let safety_due = needs_safety && (t.dirty || tick >= t.last_send + timeout);
             if data_due || safety_due || t.dirty {
@@ -609,6 +720,114 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 self.is_active[d] = false;
             }
         }
+    }
+
+    /// Crash-detection mode only: keeps every still-relevant channel
+    /// warm with one control frame per timeout even when idle, so that
+    /// silence — the detector's only signal — implies a dead (or, with
+    /// probability ~`drop^patience`, an extraordinarily unlucky) peer.
+    /// Runs after [`Machine::transmit`], so any channel that already
+    /// sent this tick (`last_send == tick`) is naturally skipped.
+    fn send_keepalives(&mut self, tick: u64) {
+        let timeout = self.plan.timeout();
+        for d in 0..self.tx.len() {
+            let u = self.sender(d);
+            if self.crashed[u] {
+                continue;
+            }
+            // A sender whose final `u64::MAX` safety the peer has echoed
+            // is allowed to be silent forever — the peer skips suspicion
+            // for it. Until that echo lands, even a *halted* sender must
+            // keep the channel warm: a node that halts while a payload
+            // toward a third neighbor is still unacked announces a
+            // finite safe round, and its other channels would otherwise
+            // go quiet long enough to be falsely suspected.
+            if self.tx[d].peer_safe_seen == u64::MAX {
+                continue;
+            }
+            // Still keep the channel warm while *we* suspect the peer:
+            // if the suspicion is false, our frames are what clear the
+            // peer's reciprocal suspicion of us.
+            if self.rx[self.rev(d)].peer_safe == u64::MAX {
+                continue;
+            }
+            if tick < self.tx[d].last_send + timeout {
+                continue;
+            }
+            self.send_frame(d, tick, false, false);
+        }
+    }
+
+    /// Crash-detection mode only: raises a suspicion on every receive
+    /// slot that has been silent past the suspicion window, quiescing
+    /// the suspecting node's own channel toward the suspect. Slots are
+    /// scanned in ascending order, so the first suspicion of a tick is
+    /// deterministic. Returns the phase-ending error when the plan's
+    /// policy is [`SuspicionPolicy::Abort`]: the recorded algorithm
+    /// error if one exists (it predates the crash fallout), otherwise
+    /// a [`CongestError::NodeSuspected`] naming the suspect, the
+    /// detector, and the session-global round reached.
+    fn detect_failures(&mut self, tick: u64) -> Option<CongestError> {
+        for d in 0..self.rx.len() {
+            if self.suspected[d] {
+                continue;
+            }
+            let v = self.slot_owner[d] as usize;
+            // A drained-halted sender announced `u64::MAX`: it is
+            // legitimately silent forever, not crashed.
+            if self.crashed[v] || self.rx[d].peer_safe == u64::MAX {
+                continue;
+            }
+            // A receiver that needs nothing more from this sender — it
+            // halted, its payload toward the sender is acked, and the
+            // sender echoed its final safety — must not suspect: live
+            // peers stop keepaliving toward it the moment they see its
+            // `u64::MAX`, so from here the channel is legitimately
+            // quiet in both directions.
+            let out = self.rev(d);
+            if self.nodes[v].halted
+                && self.tx[out].data.is_none()
+                && self.tx[out].peer_safe_seen >= self.nodes[v].safe
+            {
+                continue;
+            }
+            if tick.saturating_sub(self.last_heard[d]) <= self.suspect_after {
+                continue;
+            }
+            let u = self.sender(d);
+            self.suspected[d] = true;
+            self.sim.suspicions += 1;
+            if !self.crashed[u] {
+                // Ground truth from the plan: the suspect lives. The
+                // detector will rehabilitate it on its next frame.
+                self.sim.false_suspicions += 1;
+            }
+            // Quiesce our channel toward the suspect: nothing will be
+            // acked or echoed from over there, and a starved channel
+            // must not block phase completion (or burn its budget).
+            let out = self.rev(d);
+            if self.tx[out].data.take().is_some() {
+                self.tx[out].attempts = 0;
+                self.nodes[v].unacked -= 1;
+                self.unacked_total -= 1;
+            }
+            if self.nodes[v].unacked == 0 {
+                self.refresh_safety(v);
+            }
+            self.ready.push(v as u32);
+            if self.plan.on_suspect == SuspicionPolicy::Abort {
+                if self.err.is_some() {
+                    return Some(self.take_err());
+                }
+                return Some(CongestError::NodeSuspected {
+                    phase: self.spec.name.to_string(),
+                    node: NodeId::from_index(u),
+                    by: NodeId::from_index(v),
+                    round: self.spec.base_round + self.max_round,
+                });
+            }
+        }
+        None
     }
 
     /// Builds, meters, and (adversary permitting) schedules one frame on
@@ -640,6 +859,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                         CongestError::RetransmitExhausted {
                             phase: self.spec.name.to_string(),
                             node: NodeId::from_index(u),
+                            peer: NodeId::from_index(self.slot_owner[d] as usize),
                             port,
                             round,
                             attempts: budget,
@@ -663,6 +883,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                         CongestError::RetransmitExhausted {
                             phase: self.spec.name.to_string(),
                             node: NodeId::from_index(u),
+                            peer: NodeId::from_index(self.slot_owner[d] as usize),
                             port,
                             round,
                             attempts: budget,
@@ -711,6 +932,14 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let ctx = spec.ctx(v, 0);
             let (state, outbox) = algo.boot(&ctx, input);
             self.nodes[v].state = Some(state);
+            // Crashed before the phase began (boot is local round 0):
+            // the node keeps its booted state for the zombie `finish`,
+            // but its outbox is discarded unmetered — it was never
+            // there as far as the network is concerned.
+            if self.crash_local[v] == 0 {
+                self.kill(v);
+                continue;
+            }
             self.enqueue_outbox(v, 0, outbox.msgs);
             self.refresh_safety(v);
             self.ready.push(v as u32);
@@ -727,11 +956,25 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         // it exists so a logic bug fails instead of spinning.
         let per_round = (self.plan.timeout() + u64::from(self.plan.max_delay) + 2)
             .saturating_mul(u64::from(self.plan.max_attempts.max(1)) + 1);
-        let tick_cap = spec.cap.saturating_add(2).saturating_mul(per_round);
+        // Each crash can stall the network for a full suspicion window
+        // before the detector unwedges it — budget those on top.
+        let tick_cap = spec
+            .cap
+            .saturating_add(2)
+            .saturating_mul(per_round)
+            .saturating_add(
+                self.suspect_after
+                    .saturating_mul(self.plan.crashes.len() as u64 + 1),
+            );
         let mut idle_ticks = 0u64;
         let mut tick = 0u64;
         loop {
-            let before = (self.sim.data_frames, self.sim.ctrl_frames, self.max_round);
+            let before = (
+                self.sim.data_frames,
+                self.sim.ctrl_frames,
+                self.max_round,
+                self.sim.suspicions,
+            );
             // 1. Deliver this tick's arrivals (sorted by edge so the
             //    order is schedule-independent and destination-grouped).
             let window = self.calendar.len();
@@ -740,6 +983,18 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             arrivals.sort_by_key(|&(d, _)| d);
             let had_arrivals = !arrivals.is_empty();
             for (d, frame) in arrivals {
+                if self.detect {
+                    self.last_heard[d] = tick;
+                    if self.suspected[d] {
+                        // The suspect lives: rehabilitate it and
+                        // reconsider the channel toward it (safety
+                        // gossip suspended by the suspicion resumes on
+                        // its timers).
+                        self.suspected[d] = false;
+                        let out = self.rev(d);
+                        self.activate(out);
+                    }
+                }
                 self.process_arrival(d, frame);
             }
             // 2. Execute every virtual round the α rule now allows
@@ -747,8 +1002,15 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             //    error is recorded, so slower regions surface any
             //    earlier-round error before the phase returns).
             self.advance_ready();
-            // 3. Transmit on due edges.
+            // 3. Transmit on due edges; in crash mode, keep idle
+            //    channels warm and run the failure detector.
             self.transmit(tick);
+            if self.detect {
+                self.send_keepalives(tick);
+                if let Some(e) = self.detect_failures(tick) {
+                    return Err(e);
+                }
+            }
             // 4. Error wind-down: once every node still running has
             //    executed through the earliest error round, no
             //    earlier-(round, node) error can exist — return the
@@ -765,25 +1027,52 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             }
             // 5. Done? Once every node has halted and every payload is
             //    acked and delivered, the remaining control chatter is
-            //    irrelevant.
-            if self.live == 0 && self.unacked_total == 0 && self.in_flight == 0 {
-                // Clamped to the virtual round count so the documented
-                // `phys_rounds ≥ rounds` invariant holds even for
-                // transport-free phases (an isolated node runs all its
-                // rounds inside one tick).
-                self.sim.phys_rounds = (tick + 1).max(self.max_round);
-                break;
+            //    irrelevant. Frames still in flight toward *crashed*
+            //    receivers don't count: a halted survivor keepalives
+            //    toward a dead peer forever (it cannot know the peer
+            //    will never echo its final safety), and with enough
+            //    such channels their staggered sends cover every tick —
+            //    in-flight would never reach zero.
+            if self.live == 0 && self.unacked_total == 0 {
+                let drained = self.in_flight == 0
+                    || self
+                        .calendar
+                        .iter()
+                        .flatten()
+                        .all(|(d, _)| self.crashed[self.slot_owner[*d] as usize]);
+                if drained {
+                    // Clamped to the virtual round count so the documented
+                    // `phys_rounds ≥ rounds` invariant holds even for
+                    // transport-free phases (an isolated node runs all its
+                    // rounds inside one tick).
+                    self.sim.phys_rounds = (tick + 1).max(self.max_round);
+                    break;
+                }
             }
             let progressed = had_arrivals
-                || before != (self.sim.data_frames, self.sim.ctrl_frames, self.max_round);
+                || before
+                    != (
+                        self.sim.data_frames,
+                        self.sim.ctrl_frames,
+                        self.max_round,
+                        self.sim.suspicions,
+                    );
             idle_ticks = if progressed { 0 } else { idle_ticks + 1 };
             tick += 1;
             // A whole timeout-plus-window of ticks with no arrival, no
-            // frame, and no round: either a recorded error starved the
-            // network (budget-exhausted channels go quiet) — return it —
-            // or the synchronizer is stalled, impossible by design, and
-            // failing typed beats spinning.
-            if tick > tick_cap || idle_ticks > self.plan.timeout() + window as u64 + 1 {
+            // frame, no round, and no suspicion: either a recorded error
+            // starved the network (budget-exhausted channels go quiet) —
+            // return it — or the synchronizer is stalled, impossible by
+            // design, and failing typed beats spinning. In crash mode
+            // the network can be legitimately silent for a full
+            // suspicion window (e.g. every live node halted, waiting on
+            // a suspicion to quiesce a channel toward a dead peer), so
+            // the allowance stretches by `suspect_after`.
+            let idle_limit = self.plan.timeout()
+                + window as u64
+                + 1
+                + if self.detect { self.suspect_after } else { 0 };
+            if tick > tick_cap || idle_ticks > idle_limit {
                 return Err(if self.err.is_some() {
                     self.take_err()
                 } else {
@@ -799,8 +1088,16 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             self.edge_load.iter().copied().max().unwrap_or(0) as usize;
         self.metrics.sim = self.sim;
         let mut outputs = Vec::with_capacity(n);
-        for (v, node) in self.nodes.into_iter().enumerate() {
-            let ctx = spec.ctx(v, self.max_round);
+        let nodes = std::mem::take(&mut self.nodes);
+        for (v, node) in nodes.into_iter().enumerate() {
+            let mut ctx = spec.ctx(v, self.max_round);
+            // Crashed nodes still produce (zombie) outputs — the caller
+            // needs a full vector — but their detector view is empty: a
+            // dead node reports no suspects, which is how a recovery
+            // driver tells survivor reports from zombie ones.
+            if !self.crashed[v] {
+                ctx.suspected = &self.suspected[spec.slot_base[v]..spec.slot_base[v + 1]];
+            }
             let out = algo
                 .finish(node.state.expect("state present"), &ctx)
                 .map_err(|violation| CongestError::Protocol {
@@ -964,7 +1261,11 @@ mod tests {
             FaultPlan::lossless(),
             FaultPlan::with_drop(300, 9).delayed(2),
         ] {
-            assert_eq!(run_err(ExecutorKind::Faulty(plan)), want, "plan {plan:?}");
+            assert_eq!(
+                run_err(ExecutorKind::Faulty(plan.clone())),
+                want,
+                "plan {plan:?}"
+            );
         }
     }
 
@@ -982,7 +1283,7 @@ mod tests {
             let plan = FaultPlan::with_drop(drop, seed)
                 .duplicated(dup)
                 .delayed(delay);
-            let got = run_flood(&g, ExecutorKind::Faulty(plan), 14);
+            let got = run_flood(&g, ExecutorKind::Faulty(plan.clone()), 14);
             assert_eq!(got.outputs, want.outputs, "plan {plan:?}");
             assert_eq!(got.metrics.rounds, want.metrics.rounds, "plan {plan:?}");
             assert_eq!(got.metrics.messages, want.metrics.messages, "plan {plan:?}");
@@ -1000,7 +1301,7 @@ mod tests {
     fn identical_plans_are_deterministic() {
         let g = graphs::generators::torus2d(4, 5).unwrap();
         let plan = FaultPlan::with_drop(250, 11).duplicated(100).delayed(3);
-        let a = run_flood(&g, ExecutorKind::Faulty(plan), 10);
+        let a = run_flood(&g, ExecutorKind::Faulty(plan.clone()), 10);
         let b = run_flood(&g, ExecutorKind::Faulty(plan), 10);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.metrics, b.metrics);
@@ -1146,7 +1447,7 @@ mod tests {
             FaultPlan::with_drop(150, 5).delayed(2),
             FaultPlan::with_drop(250, 6).delayed(3).duplicated(100),
         ] {
-            let got = run_err(ExecutorKind::Faulty(plan));
+            let got = run_err(ExecutorKind::Faulty(plan.clone()));
             assert_eq!(got, want, "plan {plan:?}");
         }
     }
@@ -1192,5 +1493,104 @@ mod tests {
         assert_eq!(out.outputs, vec![0]);
         assert_eq!(out.metrics.rounds, 4);
         assert_eq!(out.metrics.messages, 0);
+    }
+
+    /// Under the default `Abort` policy, a mid-phase crash surfaces as
+    /// a typed `NodeSuspected` naming the dead node — the recovery
+    /// driver's cue — deterministically.
+    #[test]
+    fn crash_is_detected_and_aborts_typed() {
+        let g = graphs::generators::grid2d(3, 3).unwrap();
+        let run_one = || {
+            let plan = FaultPlan::lossless().with_crash(4, 2);
+            let cfg = NetworkConfig::default().with_fault_plan(plan);
+            let mut net = Network::new(&g, cfg).unwrap();
+            net.run("flood", &MinFlood { ttl: 12 }, vec![(); 9])
+                .unwrap_err()
+        };
+        let err = run_one();
+        match &err {
+            CongestError::NodeSuspected {
+                node, by, round, ..
+            } => {
+                assert_eq!(node.raw(), 4, "the crashed node is the suspect");
+                assert_ne!(by.raw(), 4, "a neighbor detects it");
+                assert!(*round >= 1, "some progress happened before the crash");
+            }
+            other => panic!("expected NodeSuspected, got {other:?}"),
+        }
+        assert_eq!(err, run_one(), "same plan, same suspicion");
+    }
+
+    /// Under `Continue`, a dead-from-boot node is simply absent: the
+    /// survivors complete around it (its id never floods) and the
+    /// suspicion counters land in the metrics with zero false alarms.
+    #[test]
+    fn dead_from_boot_nodes_are_silent_under_continue() {
+        let g = graphs::generators::path(3).unwrap();
+        let plan = FaultPlan::lossless()
+            .with_crash(0, 0)
+            .continue_on_suspicion();
+        let cfg = NetworkConfig::default().with_fault_plan(plan);
+        let mut net = Network::new(&g, cfg).unwrap();
+        let out = net
+            .run("flood", &MinFlood { ttl: 6 }, vec![(); 3])
+            .expect("survivors complete");
+        assert_eq!(
+            out.outputs,
+            vec![0, 1, 1],
+            "node 0 is a zombie (its boot state), the rest never saw id 0"
+        );
+        assert!(out.metrics.sim.suspicions >= 1);
+        assert_eq!(
+            out.metrics.sim.false_suspicions, 0,
+            "lossless keepalives never miss"
+        );
+    }
+
+    /// A crash scheduled far past the phase's end changes outputs and
+    /// payload metrics not at all — the detector mode only adds
+    /// keepalive control frames, and nobody gets suspected.
+    #[test]
+    fn unreached_crash_rounds_only_add_keepalives() {
+        let g = graphs::generators::grid2d(4, 4).unwrap();
+        let want = run_flood(&g, ExecutorKind::Serial, 10);
+        let armed = run_flood(
+            &g,
+            ExecutorKind::Faulty(FaultPlan::lossless().with_crash(0, 10_000)),
+            10,
+        );
+        assert_eq!(armed.outputs, want.outputs);
+        assert_eq!(armed.metrics.rounds, want.metrics.rounds);
+        assert_eq!(armed.metrics.messages, want.metrics.messages);
+        assert_eq!(armed.metrics.bits, want.metrics.bits);
+        assert_eq!(armed.metrics.sim.suspicions, 0);
+        assert_eq!(armed.metrics.sim.false_suspicions, 0);
+        let unarmed = run_flood(&g, ExecutorKind::faulty(), 10);
+        assert!(
+            armed.metrics.sim.ctrl_frames >= unarmed.metrics.sim.ctrl_frames,
+            "keepalives only add control traffic"
+        );
+    }
+
+    /// Crashes under lossy transport stay deterministic: same plan,
+    /// same typed abort, byte for byte.
+    #[test]
+    fn lossy_crash_detection_is_deterministic() {
+        let g = graphs::generators::torus2d(4, 4).unwrap();
+        let plan = FaultPlan::with_drop(50, 77).delayed(2).with_crash(5, 3);
+        let run_one = |p: FaultPlan| {
+            let cfg = NetworkConfig::default().with_fault_plan(p);
+            let mut net = Network::new(&g, cfg).unwrap();
+            net.run("flood", &MinFlood { ttl: 12 }, vec![(); 16])
+                .unwrap_err()
+        };
+        let a = run_one(plan.clone());
+        let b = run_one(plan);
+        assert!(
+            matches!(&a, CongestError::NodeSuspected { node, .. } if node.raw() == 5),
+            "got {a:?}"
+        );
+        assert_eq!(a, b);
     }
 }

@@ -6,14 +6,28 @@
 //!
 //! * [`FaultPlan`] is the seeded, deterministic adversary — per-frame
 //!   drop/duplication probabilities (integer ‰), a bounded delay window
-//!   (which induces in-window reordering), and the synchronizer's
-//!   retransmission timeout and budget;
+//!   (which induces in-window reordering), the synchronizer's
+//!   retransmission timeout and budget, and a schedule of fail-stop
+//!   [`CrashEvent`]s (single nodes or correlated groups, with optional
+//!   rejoin rounds honored at phase boundaries);
 //! * [`FaultyExecutor`] is a third [`crate::executor::RoundExecutor`]
 //!   (select it with [`crate::ExecutorKind::Faulty`]) that layers an
 //!   **α-synchronizer** — per-message acks, stop-and-wait
 //!   retransmission, safe-round detection — over the adversarial
 //!   transport, so node code still observes globally synchronous rounds
 //!   and produces outputs bit-identical to the fault-free executors.
+//!
+//! When the plan schedules crashes, the executor arms a timeout-based
+//! **failure detector**: a channel silent for the plan's full suspicion
+//! window ([`FaultPlan::suspect_after`] physical ticks) marks its
+//! sender *suspected*. Suspicion is advisory and revocable (eventually
+//! accurate, never permanently wrong about a live node); what happens
+//! on the first suspicion is the plan's [`SuspicionPolicy`] — abort
+//! with a typed [`crate::CongestError::NodeSuspected`] (default; a
+//! recovery driver catches it and re-runs on the surviving component),
+//! or continue and let the algorithm read the suspected set off
+//! [`crate::NodeCtx::suspects`] (how
+//! [`crate::primitives::failure_detector`] works).
 //!
 //! The cost of asynchrony is measured, not hidden: the transport's
 //! ticks, frames, retransmissions, drops, and duplicates land in
@@ -45,4 +59,4 @@ mod executor;
 mod plan;
 
 pub use executor::FaultyExecutor;
-pub use plan::FaultPlan;
+pub use plan::{CrashEvent, FaultPlan, SuspicionPolicy, DEFAULT_SUSPECT_PATIENCE};

@@ -5,16 +5,58 @@
 //!
 //! Probabilities are stored per mille (integer ‰) rather than as floats:
 //! the coin arithmetic is pure integer (`hash % 1000 < p`), which keeps
-//! [`FaultPlan`] `Copy + Eq` (it lives inside
+//! [`FaultPlan`] `Eq + Hash` (it lives inside
 //! [`crate::ExecutorKind::Faulty`]) and makes determinism independent of
 //! floating-point rounding.
+//!
+//! Besides the per-frame link faults, a plan carries a **crash
+//! schedule**: a list of [`CrashEvent`]s that fail-stop whole nodes at
+//! a *global virtual round* (cumulative across the session's phases —
+//! see [`crate::metrics::MetricsLedger::total_rounds`]), optionally
+//! rejoining later. Crashes are detected by the executor's timeout-based
+//! failure detector (suspicion after [`FaultPlan::suspect_after`] silent
+//! ticks) and handled per [`SuspicionPolicy`].
+
+/// One fail-stop event in a crash schedule: the node executes every
+/// virtual round strictly before `at_round` (globally numbered across
+/// the session's phases), delivers every message those rounds sent, and
+/// is then silent — it sends nothing, acks nothing, executes nothing.
+/// `at_round == 0` means dead from boot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CrashEvent {
+    /// The node that fail-stops.
+    pub node: u32,
+    /// The first global virtual round the node does **not** execute.
+    pub at_round: u64,
+    /// Optional global round at which the node comes back. Rejoins take
+    /// effect at phase boundaries only: a node whose rejoin round has
+    /// passed when a phase starts participates in that phase from boot.
+    pub rejoin: Option<u64>,
+}
+
+/// What the faulty executor does when a node first suspects a silent
+/// peer (see [`FaultPlan::suspect_after`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SuspicionPolicy {
+    /// Abort the phase with [`crate::CongestError::NodeSuspected`] —
+    /// the right policy for algorithms that assume a healthy network
+    /// (the min-cut pipeline): a recovery driver catches the typed
+    /// error, diagnoses the surviving component, and re-runs there.
+    #[default]
+    Abort,
+    /// Quiesce the suspected channel (pretend the peer is forever safe,
+    /// drop any payload parked for it) and keep executing — the policy
+    /// the failure-detector phase itself runs under, so it can complete
+    /// on the survivors and *report* the suspected set.
+    Continue,
+}
 
 /// What the adversary is allowed to do to each transmitted frame, and
 /// how the α-synchronizer fights back. All knobs are deterministic
 /// functions of `seed`; the default plan is lossless (no drops, no
-/// duplicates, no delay), which isolates the synchronizer's own
-/// overhead.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+/// duplicates, no delay, no crashes), which isolates the synchronizer's
+/// own overhead.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct FaultPlan {
     /// Seed of every fault coin. Same seed + same plan ⇒ byte-identical
     /// executions (see `sim_determinism`).
@@ -42,7 +84,25 @@ pub struct FaultPlan {
     /// an adversary with `drop_per_mille = 1000` into a typed error
     /// instead of a livelock.
     pub max_attempts: u32,
+    /// The crash schedule: fail-stop events in **global** virtual
+    /// rounds. Empty (the default) keeps the transport bit-identical to
+    /// the crash-free PR 5 behaviour — no keepalives, no suspicion
+    /// machinery, byte-identical ledgers.
+    pub crashes: Vec<CrashEvent>,
+    /// Failure-detector patience: a peer is suspected after
+    /// `suspect_patience · (resend_after + max_delay + 1)` silent ticks
+    /// (see [`FaultPlan::suspect_after`]); `0` is treated as the
+    /// default patience. Only meaningful when `crashes` is non-empty.
+    pub suspect_patience: u16,
+    /// What the executor does on the first suspicion.
+    pub on_suspect: SuspicionPolicy,
 }
+
+/// Default failure-detector patience (silent keepalive windows before
+/// suspicion). Large enough that a false suspicion needs ~this many
+/// *consecutive* keepalive losses (probability `p^patience`), small
+/// enough that suspicion fires well inside the retransmission budget.
+pub const DEFAULT_SUSPECT_PATIENCE: u16 = 8;
 
 impl Default for FaultPlan {
     /// The lossless plan: perfect channels, so the only cost is the
@@ -55,6 +115,9 @@ impl Default for FaultPlan {
             max_delay: 0,
             resend_after: 4,
             max_attempts: 64,
+            crashes: Vec::new(),
+            suspect_patience: DEFAULT_SUSPECT_PATIENCE,
+            on_suspect: SuspicionPolicy::Abort,
         }
     }
 }
@@ -86,6 +149,111 @@ impl FaultPlan {
             dup_per_mille,
             ..self
         }
+    }
+
+    /// This plan with one additional fail-stop: `node` never executes
+    /// any global virtual round `≥ at_round`.
+    pub fn with_crash(mut self, node: u32, at_round: u64) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at_round,
+            rejoin: None,
+        });
+        self
+    }
+
+    /// This plan with a correlated group crash: every listed node
+    /// fail-stops at the same global round (a rack loss, not independent
+    /// failures).
+    pub fn with_crash_group(mut self, nodes: &[u32], at_round: u64) -> Self {
+        for &node in nodes {
+            self.crashes.push(CrashEvent {
+                node,
+                at_round,
+                rejoin: None,
+            });
+        }
+        self
+    }
+
+    /// This plan with the given crash schedule (replacing any existing
+    /// one).
+    pub fn with_crashes(mut self, crashes: Vec<CrashEvent>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// This plan with [`SuspicionPolicy::Continue`] — the setting the
+    /// failure-detector phase runs under.
+    pub fn continue_on_suspicion(mut self) -> Self {
+        self.on_suspect = SuspicionPolicy::Continue;
+        self
+    }
+
+    /// Does this plan schedule any crash at all? `false` guarantees the
+    /// executor's transport behaviour is byte-identical to a crash-free
+    /// build: keepalives and the suspicion sweep are gated on this.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Silent ticks after which a peer is suspected:
+    /// `patience · (resend_after + max_delay + 1)`. The bracket is the
+    /// worst-case spacing between two keepalive *arrivals* from a live
+    /// peer (one keepalive cadence plus the delivery window), so a
+    /// false suspicion requires ~`patience` consecutive frame losses —
+    /// probability `p^patience`. The value is a pure function of the
+    /// plan, so detection timing is replayable.
+    pub fn suspect_after(&self) -> u64 {
+        let patience = if self.suspect_patience == 0 {
+            DEFAULT_SUSPECT_PATIENCE
+        } else {
+            self.suspect_patience
+        };
+        u64::from(patience) * (self.timeout() + u64::from(self.max_delay) + 1)
+    }
+
+    /// The phase-local round at which `node` fail-stops, for a phase
+    /// whose first round is global round `base`: `Some(0)` means dead
+    /// from boot, `Some(q)` means the node executes phase rounds `< q`
+    /// only, `None` means alive throughout (including events already
+    /// expired by a rejoin `≤ base`; mid-phase rejoins wait for the
+    /// next phase boundary).
+    pub fn crash_round_of(&self, node: u32, base: u64) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|e| e.node == node && e.rejoin.is_none_or(|rj| rj > base))
+            .map(|e| e.at_round.saturating_sub(base))
+            .min()
+    }
+
+    /// This plan shifted `consumed` global rounds into the past — the
+    /// recovery driver's clock: crashes that already fired become
+    /// dead-from-round-0, future ones move closer, and events whose
+    /// rejoin round has passed disappear (the node is alive again).
+    pub fn rebased(&self, consumed: u64) -> Self {
+        let mut p = self.clone();
+        p.crashes
+            .retain(|e| e.rejoin.is_none_or(|rj| rj > consumed));
+        for e in &mut p.crashes {
+            e.at_round = e.at_round.saturating_sub(consumed);
+            e.rejoin = e.rejoin.map(|rj| rj - consumed);
+        }
+        p
+    }
+
+    /// This plan with crash events renamed through `map` — events whose
+    /// node maps to `None` (excised from the surviving subgraph) are
+    /// dropped. Link-fault coins are positional (edge, tick), so they
+    /// re-seed naturally on the remapped topology.
+    pub fn remapped(&self, mut map: impl FnMut(u32) -> Option<u32>) -> Self {
+        let mut p = self.clone();
+        p.crashes = p
+            .crashes
+            .iter()
+            .filter_map(|e| map(e.node).map(|node| CrashEvent { node, ..*e }))
+            .collect();
+        p
     }
 
     /// The effective retransmission timeout (≥ 1 tick).
@@ -195,5 +363,67 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "all delays in the window occur");
         assert!(copies_differ, "duplicate copies draw their own delay");
         assert_eq!(FaultPlan::lossless().delay(9, 1, 0), 0);
+    }
+
+    #[test]
+    fn crash_rounds_localize_against_the_phase_base() {
+        let plan = FaultPlan::lossless()
+            .with_crash(3, 100)
+            .with_crash_group(&[5, 6], 40);
+        assert!(!FaultPlan::lossless().has_crashes());
+        assert!(plan.has_crashes());
+        assert_eq!(plan.crash_round_of(3, 0), Some(100));
+        assert_eq!(plan.crash_round_of(3, 90), Some(10));
+        assert_eq!(plan.crash_round_of(3, 100), Some(0), "already dead");
+        assert_eq!(plan.crash_round_of(3, 500), Some(0), "stays dead");
+        assert_eq!(plan.crash_round_of(4, 0), None);
+        assert_eq!(plan.crash_round_of(5, 39), Some(1));
+        assert_eq!(plan.crash_round_of(6, 39), Some(1), "correlated group");
+    }
+
+    #[test]
+    fn rejoin_expires_events_at_phase_boundaries() {
+        let plan = FaultPlan::lossless().with_crashes(vec![CrashEvent {
+            node: 2,
+            at_round: 10,
+            rejoin: Some(30),
+        }]);
+        assert_eq!(plan.crash_round_of(2, 15), Some(0), "down mid-outage");
+        assert_eq!(plan.crash_round_of(2, 30), None, "rejoined");
+        let rebased = plan.rebased(30);
+        assert!(!rebased.has_crashes(), "expired events are dropped");
+        let shifted = plan.rebased(12);
+        assert_eq!(shifted.crashes[0].at_round, 0);
+        assert_eq!(shifted.crashes[0].rejoin, Some(18));
+    }
+
+    #[test]
+    fn remapping_drops_excised_nodes() {
+        let plan = FaultPlan::lossless().with_crash(1, 5).with_crash(7, 50);
+        // Node 1 was excised; node 7 becomes node 6 in the subgraph.
+        let m = plan.remapped(|v| if v == 1 { None } else { Some(v - 1) });
+        assert_eq!(m.crashes.len(), 1);
+        assert_eq!((m.crashes[0].node, m.crashes[0].at_round), (6, 50));
+    }
+
+    #[test]
+    fn suspicion_window_tracks_the_delay_and_timeout() {
+        let plan = FaultPlan::lossless();
+        assert_eq!(plan.suspect_after(), 8 * (4 + 1));
+        let lossy = FaultPlan::with_drop(50, 1).delayed(2);
+        assert_eq!(lossy.suspect_after(), 8 * (4 + 2 + 1));
+        // Suspicion must fire well before the retransmission budget (so a
+        // payload parked for a dead peer is abandoned, not a typed error).
+        assert!(lossy.suspect_after() < u64::from(lossy.max_attempts) * lossy.timeout());
+        let patient = FaultPlan {
+            suspect_patience: 3,
+            ..FaultPlan::lossless()
+        };
+        assert_eq!(patient.suspect_after(), 3 * 5);
+        let zero = FaultPlan {
+            suspect_patience: 0,
+            ..FaultPlan::lossless()
+        };
+        assert_eq!(zero.suspect_after(), 8 * 5, "0 falls back to the default");
     }
 }

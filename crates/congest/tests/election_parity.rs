@@ -88,7 +88,7 @@ proptest! {
         let legacy = run_election(&g, &LeaderBfs::legacy(), ExecutorKind::Serial);
         check_bfs_tree(&g, &legacy);
         for kind in [ExecutorKind::Serial, ExecutorKind::Parallel { threads: 3 }] {
-            let staged = run_election(&g, &LeaderBfs::new(), kind);
+            let staged = run_election(&g, &LeaderBfs::new(), kind.clone());
             prop_assert_eq!(&staged, &legacy, "executor {:?}", kind);
         }
     }

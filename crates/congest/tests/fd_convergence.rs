@@ -1,0 +1,142 @@
+//! Detector-convergence properties, randomized: for arbitrary fail-stop
+//! schedules on small random trees, tori, and cliques, the timeout
+//! census ([`FailureDetector`] under `SuspicionPolicy::Continue`)
+//! converges to **exactly** the ground truth — every completed node's
+//! suspect set is precisely its crashed neighbors, crashed nodes
+//! produce ignorable zombie reports, and no live node is ever falsely
+//! suspected (the plans are lossless, so the only silent channels are
+//! the dead ones; lossy-plan suspicion accuracy is covered by the
+//! recovery suites, where transient suspicions are allowed and
+//! rehabilitated).
+//!
+//! Crash rounds are drawn from `0..10`, far below the detector's idle
+//! span (≥ `suspect_after()` ≥ 56 rounds), so every scheduled crash
+//! actually fires mid-phase; at least one node always survives.
+
+use congest::primitives::failure_detector::{FailureDetector, FdReport};
+use congest::sim::{CrashEvent, FaultPlan};
+use congest::{MetricsLedger, Network, NetworkConfig};
+use graphs::{generators, NodeId, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One graph from the three stress families (the same construction as
+/// the executor-parity and sim-determinism suites).
+fn make_graph(family: u8, seed: u64, size: usize) -> WeightedGraph {
+    match family % 3 {
+        0 => {
+            let n = size.max(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges: Vec<(u32, u32, u64)> = (1..n)
+                .map(|i| {
+                    let parent = rng.gen_range(0..i) as u32;
+                    (parent, i as u32, 1 + (seed + i as u64) % 7)
+                })
+                .collect();
+            WeightedGraph::from_edges(n, edges).expect("valid tree")
+        }
+        1 => {
+            let side = 3 + size % 4;
+            generators::torus2d(side, side).expect("valid torus")
+        }
+        _ => generators::complete(3 + size % 6, 1 + seed % 5).expect("valid clique"),
+    }
+}
+
+/// An arbitrary fail-stop schedule: each node except a guaranteed
+/// survivor crashes independently with probability ~1/3, at a round in
+/// `0..10`. No rejoins — the census diagnoses permanent deaths.
+fn make_schedule(n: usize, seed: u64) -> Vec<CrashEvent> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let survivor = rng.gen_range(0..n);
+    let mut schedule = Vec::new();
+    for v in 0..n {
+        let doomed = rng.gen_range(0..3u32) == 0;
+        let at_round = rng.gen_range(0..10u64);
+        if v != survivor && doomed {
+            schedule.push(CrashEvent {
+                node: v as u32,
+                at_round,
+                rejoin: None,
+            });
+        }
+    }
+    schedule
+}
+
+/// Runs the census phase and returns (reports, ledger).
+fn census(g: &WeightedGraph, plan: FaultPlan) -> (Vec<FdReport>, MetricsLedger) {
+    let det = FailureDetector::for_plan(&plan);
+    let cfg = NetworkConfig::default().with_fault_plan(plan);
+    let mut net = Network::new(g, cfg).expect("valid topology");
+    let out = net
+        .run("census", &det, vec![(); g.node_count()])
+        .expect("the census completes under Continue");
+    (out.outputs, net.ledger().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The census equals the ground truth, exactly: completed nodes
+    /// suspect precisely their dead neighbors, zombies are marked, and
+    /// the false-suspicion meter stays at zero.
+    #[test]
+    fn census_converges_to_the_exact_crash_set(
+        family in 0u8..3,
+        seed in 0u64..5000,
+        size in 6usize..28,
+    ) {
+        let g = make_graph(family, seed, size);
+        let n = g.node_count();
+        let schedule = make_schedule(n, seed);
+        let dead: Vec<bool> = {
+            let mut d = vec![false; n];
+            for c in &schedule {
+                d[c.node as usize] = true;
+            }
+            d
+        };
+        let plan = FaultPlan::lossless()
+            .with_crashes(schedule.clone())
+            .continue_on_suspicion();
+        // Unreachable crash so detection stays armed on the (valid)
+        // empty-schedule draws too.
+        let plan = if schedule.is_empty() {
+            plan.with_crash(0, 1 << 40)
+        } else {
+            plan
+        };
+        let (reports, ledger) = census(&g, plan.clone());
+
+        for (v, r) in reports.iter().enumerate() {
+            if dead[v] {
+                prop_assert!(!r.completed, "node {v} crashed but completed its census");
+                continue;
+            }
+            prop_assert!(r.completed, "live node {v} failed to complete");
+            let mut expect: Vec<NodeId> = g
+                .neighbors(NodeId::from_index(v))
+                .iter()
+                .filter(|a| dead[a.neighbor.index()])
+                .map(|a| a.neighbor)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(
+                &r.suspects, &expect,
+                "node {}: suspected {:?}, dead neighbors {:?}", v, &r.suspects, &expect
+            );
+        }
+        prop_assert_eq!(
+            ledger.total_false_suspicions(), 0,
+            "a live node was suspected under a lossless plan"
+        );
+
+        // Same plan, byte-identical census — detection is deterministic.
+        let (again, ledger2) = census(&g, plan);
+        prop_assert_eq!(&reports, &again);
+        prop_assert_eq!(ledger.phases(), ledger2.phases());
+    }
+}

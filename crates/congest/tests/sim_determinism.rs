@@ -111,7 +111,7 @@ proptest! {
         let plan = FaultPlan::with_drop(drop, seed ^ 0xDEAD).delayed(delay).duplicated(drop / 2);
         let kind = ExecutorKind::Faulty(plan);
 
-        let (out_a, ledger_a) = run_session(&g, kind, &lists);
+        let (out_a, ledger_a) = run_session(&g, kind.clone(), &lists);
         let (out_b, ledger_b) = run_session(&g, kind, &lists);
         // Determinism: ledgers agree field for field, sim counters
         // included.

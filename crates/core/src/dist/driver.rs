@@ -265,21 +265,29 @@ struct Pipeline<'g> {
 
 impl<'g> Pipeline<'g> {
     /// Elects the leader, builds its BFS tree, and initialises every
-    /// node's static memory.
+    /// node's static memory. On failure the ledger accumulated so far
+    /// rides along with the error (see [`run_pipeline_traced`]).
     fn new(
         g: &'g WeightedGraph,
         network: NetworkConfig,
         mst: MstConfig,
         election: Election,
         pack_edge: &[u64],
-    ) -> Result<Self, MinCutError> {
+    ) -> Result<Self, (MinCutError, MetricsLedger)> {
         let n = g.node_count();
-        let mut net = Network::new(g, network).map_err(MinCutError::from)?;
-        let bfs = net.run(
+        let mut net =
+            Network::new(g, network).map_err(|e| (MinCutError::from(e), MetricsLedger::new()))?;
+        let bfs = match net.run(
             "leader_bfs",
             &LeaderBfs::with_election(election),
             vec![(); n],
-        )?;
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                let ledger = net.ledger().clone();
+                return Err((MinCutError::from(e), ledger));
+            }
+        };
         let leader = bfs.outputs[0].leader;
         let mems = g
             .nodes()
@@ -1218,16 +1226,29 @@ pub(crate) fn run_pipeline(
     g: &WeightedGraph,
     opts: &PipelineOpts,
 ) -> Result<PipelineOutcome, MinCutError> {
+    run_pipeline_traced(g, opts).map_err(|(e, _)| e)
+}
+
+/// [`run_pipeline`] that surrenders the metrics ledger accumulated up to
+/// the point of failure alongside the error. The self-healing driver
+/// ([`crate::dist::recover`]) needs both: the typed
+/// [`congest::CongestError::NodeSuspected`] carries the virtual-round
+/// clock for rebasing the crash schedule, and the partial ledger is what
+/// makes an aborted attempt's cost visible in the merged accounting.
+pub(crate) fn run_pipeline_traced(
+    g: &WeightedGraph,
+    opts: &PipelineOpts,
+) -> Result<PipelineOutcome, (MinCutError, MetricsLedger)> {
     let n = g.node_count();
     if n < 2 {
-        return Err(MinCutError::TooSmall { nodes: n });
+        return Err((MinCutError::TooSmall { nodes: n }, MetricsLedger::new()));
     }
     // No upper bound on n here: the case-2 pair aggregation packs
     // attachment pairs into u64 stream keys (2⌈log₂ n⌉ bits), so every
     // n addressable by u32 node ids is in range for exact and approx
     // drivers alike.
     if !graphs::traversal::is_connected(g) {
-        return Err(MinCutError::Disconnected);
+        return Err((MinCutError::Disconnected, MetricsLedger::new()));
     }
     // Packing weights (skeleton or original), shared-coin sampled.
     let pack_edge: Vec<u64> = match opts.sample {
@@ -1246,7 +1267,7 @@ pub(crate) fn run_pipeline(
             }
         }
         if dsu.set_count() > 1 {
-            return Err(MinCutError::Disconnected);
+            return Err((MinCutError::Disconnected, MetricsLedger::new()));
         }
     }
 
@@ -1257,6 +1278,24 @@ pub(crate) fn run_pipeline(
         opts.election,
         &pack_edge,
     )?;
+    match drive_packing(&mut pl, opts) {
+        Ok(outcome) => Ok(outcome),
+        Err(e) => {
+            let ledger = pl.net.ledger().clone();
+            Err((e, ledger))
+        }
+    }
+}
+
+/// The packing loop proper, on an initialised pipeline: packs trees until
+/// the target is met and assembles the outcome. Split out of
+/// [`run_pipeline_traced`] so a failure leaves `pl` — and its ledger —
+/// accessible to the caller.
+fn drive_packing(
+    pl: &mut Pipeline<'_>,
+    opts: &PipelineOpts,
+) -> Result<PipelineOutcome, MinCutError> {
+    let n = pl.n;
     let (mut best_value, singleton) = pl.init_deg()?;
     let mut best_node: Option<NodeId> = None;
     let mut trees_to_best = 0usize;
@@ -1282,7 +1321,7 @@ pub(crate) fn run_pipeline(
         value: best_value,
     };
     debug_assert_eq!(
-        graphs::cut::cut_of_side(g, &cut.side),
+        graphs::cut::cut_of_side(pl.g, &cut.side),
         cut.value,
         "the announced side must evaluate to the announced value"
     );

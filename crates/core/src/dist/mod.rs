@@ -15,6 +15,12 @@
 //!   via Karger's identity `C(v↓) = δ↓(v) − 2ρ↓(v)`, computed with
 //!   fragment decomposition so the cost is `Õ(√n + D)` independent of the
 //!   tree's depth;
+//! * [`recover`] — the self-healing driver
+//!   ([`recover::recover_mincut`]): runs the pipeline under a
+//!   crash-scheduling fault plan, catches the transport's typed
+//!   suspicion abort, diagnoses the dead via a failure-detector census,
+//!   excises them, and re-runs on the surviving component until a
+//!   certified cut emerges;
 //! * [`approx`] — the `(1+ε)` approximation via Karger skeleton sampling
 //!   ([`approx::approx_mincut`]);
 //! * [`baselines`] — distributed baselines in the spirit of Ghaffari–Kuhn
@@ -48,8 +54,10 @@ pub mod driver;
 pub mod mst;
 pub mod one_respect;
 pub mod packing;
+pub mod recover;
 
 pub use approx::{approx_mincut, ApproxConfig};
 pub use baselines::{gk_baseline, su_baseline, BaselineConfig};
 pub use driver::{exact_mincut, DistMinCutResult, ExactConfig};
 pub use mst::MstConfig;
+pub use recover::{recover_mincut, RecoverConfig, RecoveredMinCut};

@@ -1,0 +1,424 @@
+//! The self-healing driver: crash detection and recovery wrapped around
+//! the exact pipeline.
+//!
+//! [`recover_mincut`] runs [`crate::dist::driver::exact_mincut`]'s
+//! pipeline under a crash-scheduling [`FaultPlan`] and survives
+//! fail-stop faults — including the death of the elected leader — by an
+//! *epoch* loop:
+//!
+//! 1. **Attempt.** Run the full pipeline with
+//!    [`SuspicionPolicy::Abort`]: the first time the transport's timeout
+//!    detector suspects a silent peer, the phase aborts with the typed
+//!    [`CongestError::NodeSuspected`], whose `round` field is the
+//!    session's virtual-round clock at the abort.
+//! 2. **Census.** Rebase the plan by that clock (crashes that already
+//!    fired become dead-from-boot) and run one
+//!    [`FailureDetector`] phase under [`SuspicionPolicy::Continue`] on
+//!    the same topology: every surviving node idles through the
+//!    suspicion window and reports which neighbors its detector
+//!    suspects. Reports of crashed nodes arrive with
+//!    `completed == false` and are discarded; the union of the
+//!    completed reports' suspect sets is the diagnosed dead set.
+//! 3. **Excise and retry.** The next epoch runs on the subgraph induced
+//!    by the surviving component of the smallest-id completed node
+//!    (connectivity is recomputed, so survivors separated from that
+//!    component by an interior dead region are excised too — the
+//!    pipeline requires a connected graph). Node ids are compacted; the
+//!    crash schedule is renamed through the same map
+//!    ([`FaultPlan::remapped`]) and shifted past the rounds consumed so
+//!    far ([`FaultPlan::rebased`]). A new leader is elected from
+//!    scratch — re-election *is* the first phase of the re-run pipeline.
+//!
+//! The loop ends when an attempt completes; the recovered cut is then
+//! **certified** against the sequential Stoer–Wagner oracle on the
+//! surviving subgraph (enabled by default), making "recovered λ is the
+//! minimum cut of what survived" a checked property rather than a
+//! convention.
+//!
+//! # Accounting
+//!
+//! Every phase of every failed attempt and every census is folded into
+//! the merged [`MetricsLedger`] under a `recover.e{epoch}.` name prefix;
+//! the successful attempt's phases keep their canonical names. The cost
+//! of crash recovery is therefore one query away:
+//! `ledger.rounds_matching("recover.")` /
+//! `ledger.messages_matching("recover.")` are surfaced as
+//! [`RecoveredMinCut::recovery_rounds`] and
+//! [`RecoveredMinCut::recovery_messages`], and the detector's own
+//! suspicion counters ride in the per-phase `sim` stats.
+//!
+//! Everything is deterministic: the same graph and the same plan yield
+//! byte-identical merged ledgers (asserted in `tests/self_healing.rs`).
+
+use crate::dist::driver::{run_pipeline_traced, ExactConfig, PipelineOpts};
+use crate::dist::packing::PackingTarget;
+use crate::seq::stoer_wagner;
+use crate::MinCutError;
+use congest::primitives::failure_detector::FailureDetector;
+use congest::sim::{FaultPlan, SuspicionPolicy};
+use congest::{CongestError, MetricsLedger, Network};
+use graphs::{CutResult, NodeId, WeightedGraph};
+
+/// Configuration of [`recover_mincut`].
+#[derive(Clone, Debug)]
+pub struct RecoverConfig {
+    /// The pipeline configuration (network model, packing policy, MST
+    /// knobs, election protocol). Its executor choice is overridden: the
+    /// attempts run under the fault-injecting executor with [`plan`]
+    /// (with the abort-on-suspicion policy forced).
+    ///
+    /// [`plan`]: RecoverConfig::plan
+    pub base: ExactConfig,
+    /// The adversary: link faults plus the crash schedule, in **global
+    /// virtual rounds** counted across the whole recovery session
+    /// (failed attempts and censuses included).
+    pub plan: FaultPlan,
+    /// Maximum pipeline attempts before giving up (min 1). Each epoch
+    /// excises at least one node, so the loop always terminates; this
+    /// caps how much of the graph may die before the driver declares
+    /// the instance unrecoverable.
+    pub max_epochs: usize,
+    /// Certify the recovered cut against the sequential Stoer–Wagner
+    /// oracle on the surviving subgraph (default `true`). Disable only
+    /// for benchmarks where the oracle's `O(nm + n² log n)` cost drowns
+    /// the signal.
+    pub certify: bool,
+}
+
+impl Default for RecoverConfig {
+    /// Default pipeline config, a lossless crash-free plan, at most 8
+    /// epochs, certification on.
+    fn default() -> Self {
+        RecoverConfig {
+            base: ExactConfig::default(),
+            plan: FaultPlan::lossless(),
+            max_epochs: 8,
+            certify: true,
+        }
+    }
+}
+
+impl RecoverConfig {
+    /// This config with the given fault plan.
+    pub fn with_plan(self, plan: FaultPlan) -> Self {
+        RecoverConfig { plan, ..self }
+    }
+}
+
+/// Result of a self-healing run: the minimum cut of the surviving
+/// subgraph, plus the recovery accounting.
+#[derive(Clone, Debug)]
+pub struct RecoveredMinCut {
+    /// The best cut of the **surviving** subgraph. `cut.side[i]` refers
+    /// to the node whose original id is `survivors[i]`.
+    pub cut: CutResult,
+    /// Original ids of the surviving nodes, ascending — the new-id →
+    /// original-id map of the final subgraph.
+    pub survivors: Vec<NodeId>,
+    /// Original ids of the excised nodes, ascending: diagnosed crashed
+    /// nodes plus any survivors the crashes separated from the surviving
+    /// component.
+    pub dead: Vec<NodeId>,
+    /// Pipeline attempts executed (1 = no crash was ever suspected).
+    pub epochs: usize,
+    /// The Stoer–Wagner λ of the surviving subgraph, when certification
+    /// ran (it always equals `cut.value` — a mismatch is an error).
+    pub oracle: Option<u64>,
+    /// Total virtual rounds across the whole session, recovery included.
+    pub rounds: u64,
+    /// Total messages across the whole session, recovery included.
+    pub messages: u64,
+    /// Rounds spent on recovery alone: every phase of every aborted
+    /// attempt plus every failure-detector census.
+    pub recovery_rounds: u64,
+    /// Messages spent on recovery alone.
+    pub recovery_messages: u64,
+    /// The merged per-phase ledger: `recover.e{epoch}.*` entries for the
+    /// recovery work, canonical names for the successful attempt.
+    pub ledger: MetricsLedger,
+}
+
+/// Runs the exact distributed min-cut pipeline on `g` under
+/// `cfg.plan`'s faults, recovering from crashes; see the module docs.
+///
+/// # Errors
+///
+/// Everything [`crate::dist::driver::exact_mincut`] can return, plus
+/// [`MinCutError::InvalidConfig`] when recovery does not converge
+/// within [`RecoverConfig::max_epochs`] epochs or when certification
+/// fails, and [`MinCutError::TooSmall`] when fewer than two nodes
+/// survive. Errors other than [`CongestError::NodeSuspected`] —
+/// bandwidth violations, retransmission exhaustion — are *not*
+/// recoverable and propagate from the failing attempt unchanged.
+pub fn recover_mincut(
+    g: &WeightedGraph,
+    cfg: &RecoverConfig,
+) -> Result<RecoveredMinCut, MinCutError> {
+    let mut merged = MetricsLedger::new();
+    let mut cur = g.clone();
+    // orig[v] = the original id of the current subgraph's node v.
+    let mut orig: Vec<u32> = (0..g.node_count() as u32).collect();
+    let mut dead: Vec<u32> = Vec::new();
+    let mut plan = cfg.plan.clone();
+    plan.on_suspect = SuspicionPolicy::Abort;
+    let max_epochs = cfg.max_epochs.max(1);
+
+    for epoch in 1..=max_epochs {
+        let opts = PipelineOpts {
+            network: cfg.base.network.clone().with_fault_plan(plan.clone()),
+            mst: cfg.base.mst.clone(),
+            target: PackingTarget::TrackBest(cfg.base.packing.clone()),
+            sample: None,
+            election: cfg.base.election,
+        };
+        let err = match run_pipeline_traced(&cur, &opts) {
+            Ok(outcome) => {
+                for p in outcome.ledger.phases() {
+                    merged.push(p.clone());
+                }
+                let oracle = if cfg.certify {
+                    let sw = stoer_wagner(&cur)?;
+                    if sw.value != outcome.cut.value {
+                        return Err(MinCutError::InvalidConfig {
+                            reason: format!(
+                                "survivor certification failed: recovered λ = {} but the \
+                                 sequential oracle finds {} on the surviving subgraph",
+                                outcome.cut.value, sw.value
+                            ),
+                        });
+                    }
+                    Some(sw.value)
+                } else {
+                    None
+                };
+                dead.sort_unstable();
+                return Ok(RecoveredMinCut {
+                    cut: outcome.cut,
+                    survivors: orig.iter().map(|&v| NodeId::new(v)).collect(),
+                    dead: dead.iter().map(|&v| NodeId::new(v)).collect(),
+                    epochs: epoch,
+                    oracle,
+                    rounds: merged.total_rounds(),
+                    messages: merged.total_messages(),
+                    recovery_rounds: merged.rounds_matching("recover."),
+                    recovery_messages: merged.messages_matching("recover."),
+                    ledger: merged,
+                });
+            }
+            Err((e, attempt_ledger)) => {
+                for p in attempt_ledger.phases() {
+                    let mut q = p.clone();
+                    q.name = format!("recover.e{epoch}.{}", q.name);
+                    merged.push(q);
+                }
+                e
+            }
+        };
+        let MinCutError::Congest(CongestError::NodeSuspected { round, .. }) = &err else {
+            // Non-crash failures (bandwidth, retransmission exhaustion,
+            // degenerate inputs) are not recoverable by excision.
+            return Err(err);
+        };
+        // Rebase the crash schedule past the aborted attempt: everything
+        // that already fired becomes dead-from-boot for the census.
+        let census_plan = plan.rebased(*round).continue_on_suspicion();
+        let detector = FailureDetector::for_plan(&census_plan);
+        let net_cfg = cfg
+            .base
+            .network
+            .clone()
+            .with_fault_plan(census_plan.clone());
+        let mut net = Network::new(&cur, net_cfg)?;
+        let name = format!("recover.e{epoch}.census");
+        let reports = net
+            .run(&name, &detector, vec![(); cur.node_count()])?
+            .outputs;
+        let census_rounds = net.ledger().total_rounds();
+        for p in net.ledger().phases() {
+            merged.push(p.clone());
+        }
+        plan = census_plan.rebased(census_rounds);
+        plan.on_suspect = SuspicionPolicy::Abort;
+
+        // Diagnose: the union of suspect sets over completed reports.
+        let n = cur.node_count();
+        let mut is_dead = vec![false; n];
+        let mut any = false;
+        for r in reports.iter().filter(|r| r.completed) {
+            for s in &r.suspects {
+                is_dead[s.index()] = true;
+                any = true;
+            }
+        }
+        if !any {
+            // The abort was real but the census sees a healthy network —
+            // nothing to excise, so retrying would loop. Surface the
+            // original error.
+            return Err(err);
+        }
+        // The surviving component: flood from the smallest-id completed
+        // node through non-dead nodes.
+        let Some(start) = (0..n).find(|&v| reports[v].completed && !is_dead[v]) else {
+            return Err(MinCutError::TooSmall { nodes: 0 });
+        };
+        let mut in_comp = vec![false; n];
+        in_comp[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for a in cur.neighbors(NodeId::from_index(v)) {
+                let u = a.neighbor.index();
+                if !is_dead[u] && !in_comp[u] {
+                    in_comp[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let k = in_comp.iter().filter(|&&s| s).count();
+        if k < 2 {
+            return Err(MinCutError::TooSmall { nodes: k });
+        }
+        // Excise: compact ids, rebuild the graph, rename the schedule.
+        let mut new_id = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for v in 0..n {
+            if in_comp[v] {
+                new_id[v] = next;
+                next += 1;
+            } else {
+                dead.push(orig[v]);
+            }
+        }
+        let edges = cur
+            .edge_tuples()
+            .filter(|(_, u, v, _)| in_comp[u.index()] && in_comp[v.index()])
+            .map(|(_, u, v, w)| (new_id[u.index()], new_id[v.index()], w));
+        let sub = WeightedGraph::from_edges(k, edges.collect::<Vec<_>>())
+            .expect("induced subgraph of a valid graph is valid");
+        orig = (0..n).filter(|&v| in_comp[v]).map(|v| orig[v]).collect();
+        plan = plan.remapped(|u| {
+            let u = u as usize;
+            (u < new_id.len() && new_id[u] != u32::MAX).then(|| new_id[u])
+        });
+        cur = sub;
+    }
+    Err(MinCutError::InvalidConfig {
+        reason: format!("crash recovery did not converge within {max_epochs} epochs"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::driver::exact_mincut;
+    use graphs::generators;
+
+    /// Virtual rounds consumed before the first `mstA` phase of a clean
+    /// run — used to aim a crash mid-MST.
+    fn rounds_before_mst(g: &WeightedGraph) -> u64 {
+        let clean = exact_mincut(g, &ExactConfig::default()).unwrap();
+        clean
+            .ledger
+            .phases()
+            .iter()
+            .take_while(|p| !p.name.starts_with("mstA"))
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    #[test]
+    fn crash_free_plan_takes_one_epoch_and_matches_exact() {
+        let g = generators::torus2d(4, 4).unwrap();
+        // An unreachable crash arms the detector without killing anyone.
+        let plan = FaultPlan::with_drop(30, 9)
+            .delayed(1)
+            .with_crash(3, 1 << 40);
+        let r = recover_mincut(&g, &RecoverConfig::default().with_plan(plan.clone())).unwrap();
+        assert_eq!(r.epochs, 1);
+        assert!(r.dead.is_empty());
+        assert_eq!(r.survivors.len(), 16);
+        assert_eq!(r.recovery_rounds, 0);
+        assert_eq!(r.recovery_messages, 0);
+        let direct = exact_mincut(&g, &ExactConfig::default().with_fault_plan(plan)).unwrap();
+        assert_eq!(r.cut.value, direct.cut.value);
+        assert_eq!(r.cut.side, direct.cut.side);
+        assert_eq!(r.ledger.phases(), direct.ledger.phases());
+        assert_eq!(r.oracle, Some(r.cut.value));
+    }
+
+    #[test]
+    fn leader_death_mid_mst_recovers_and_certifies() {
+        let g = generators::torus2d(4, 4).unwrap();
+        // The min-id election makes node 0 the leader; kill it two
+        // rounds into the first MST phase.
+        let crash_at = rounds_before_mst(&g) + 2;
+        let plan = FaultPlan::lossless().with_crash(0, crash_at);
+        let r = recover_mincut(&g, &RecoverConfig::default().with_plan(plan)).unwrap();
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.dead, vec![NodeId::new(0)]);
+        assert_eq!(r.survivors.len(), 15);
+        assert!(!r.survivors.contains(&NodeId::new(0)));
+        assert_eq!(r.oracle, Some(r.cut.value), "certified against the oracle");
+        assert!(r.recovery_rounds > 0);
+        assert!(r.rounds > r.recovery_rounds);
+        assert!(r.ledger.total_suspicions() > 0);
+        assert_eq!(r.ledger.total_false_suspicions(), 0, "lossless links");
+    }
+
+    #[test]
+    fn group_crash_excises_separated_survivors_too() {
+        // A path: killing interior nodes separates the tail from the
+        // head's component; the driver must excise both.
+        let g = generators::path(8).unwrap();
+        let plan = FaultPlan::lossless().with_crash_group(&[3, 4], 0);
+        let r = recover_mincut(&g, &RecoverConfig::default().with_plan(plan)).unwrap();
+        // Survivors: the component of node 0 → {0, 1, 2}; nodes 5..8
+        // are alive but unreachable and get excised with the dead.
+        assert_eq!(
+            r.survivors,
+            (0..3).map(NodeId::new).collect::<Vec<_>>(),
+            "the smallest-id completed node anchors the surviving component"
+        );
+        assert_eq!(r.dead.len(), 5);
+        assert_eq!(r.cut.value, 1);
+        assert_eq!(r.oracle, Some(1));
+    }
+
+    #[test]
+    fn lossy_leader_kill_is_deterministic() {
+        let g = generators::torus2d(4, 4).unwrap();
+        let crash_at = rounds_before_mst(&g) + 2;
+        let plan = FaultPlan::with_drop(50, 0xC4A5)
+            .delayed(2)
+            .with_crash(0, crash_at);
+        let cfg = RecoverConfig::default().with_plan(plan);
+        let a = recover_mincut(&g, &cfg).unwrap();
+        let b = recover_mincut(&g, &cfg).unwrap();
+        assert_eq!(a.cut.value, b.cut.value);
+        assert_eq!(a.cut.side, b.cut.side);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(
+            a.ledger.phases(),
+            b.ledger.phases(),
+            "same plan ⇒ byte-identical merged ledgers"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_errors_propagate() {
+        let g = generators::path(3).unwrap();
+        // Total frame loss exhausts the retransmission budget — that is
+        // not a crash and must surface, not loop. The budget is shrunk
+        // below the suspicion window so exhaustion fires first (with
+        // the default budget, total blackout is indistinguishable from
+        // everyone crashing and the detector aborts instead).
+        let plan = FaultPlan {
+            max_attempts: 4,
+            ..FaultPlan::with_drop(1000, 1).with_crash(0, 1 << 40)
+        };
+        let err = recover_mincut(&g, &RecoverConfig::default().with_plan(plan)).unwrap_err();
+        assert!(matches!(
+            err,
+            MinCutError::Congest(CongestError::RetransmitExhausted { .. })
+        ));
+    }
+}

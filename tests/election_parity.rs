@@ -61,7 +61,7 @@ fn torus24_leader_messages_drop_five_fold_under_both_executors() {
                 election,
                 ..Default::default()
             }
-            .with_executor(kind);
+            .with_executor(kind.clone());
             exact_mincut(&g, &cfg).expect("strict-mode run succeeds")
         };
         let staged = mk(Election::Staged);

@@ -39,9 +39,9 @@ fn exact_mincut_under_faults_matches_serial_on_planted_graphs() {
     for (name, g) in &cases {
         let serial = exact_mincut(g, &ExactConfig::default()).expect("serial run succeeds");
         for plan in plans() {
+            let tag = format!("{name} plan {plan:?}");
             let cfg = ExactConfig::default().with_executor(ExecutorKind::Faulty(plan));
             let faulty = exact_mincut(g, &cfg).expect("faulty run succeeds");
-            let tag = format!("{name} plan {plan:?}");
             assert_eq!(faulty.cut.value, serial.cut.value, "{tag}");
             assert_eq!(faulty.cut.side, serial.cut.side, "{tag}");
             assert_eq!(faulty.trees_packed, serial.trees_packed, "{tag}");
@@ -95,4 +95,44 @@ fn faulty_runs_are_deterministic_per_plan() {
     );
     assert_eq!(a.ledger.total_dropped(), b.ledger.total_dropped());
     assert!(a.ledger.total_dropped() > 0, "the adversary was not idle");
+}
+
+/// A starved channel reports *where* it starved: the typed
+/// `RetransmitExhausted` names both endpoints of the directed edge
+/// (`node` → `peer`) and the virtual round of the stuck payload, and the
+/// diagnosis is deterministic.
+#[test]
+fn retransmit_exhaustion_names_the_starved_edge() {
+    use mincut_repro::congest::CongestError;
+    use mincut_repro::mincut::MinCutError;
+
+    let g = generators::torus2d(4, 4).unwrap();
+    // Total frame loss: the first scheduled payload retransmission
+    // budget to run out aborts the phase.
+    let plan = FaultPlan::with_drop(1000, 0xDEAD);
+    let run = || {
+        let cfg = ExactConfig::default().with_executor(ExecutorKind::Faulty(plan.clone()));
+        exact_mincut(&g, &cfg).expect_err("total loss cannot complete")
+    };
+    let err = run();
+    let MinCutError::Congest(CongestError::RetransmitExhausted {
+        phase,
+        node,
+        peer,
+        round,
+        attempts,
+        ..
+    }) = &err
+    else {
+        panic!("expected RetransmitExhausted, got {err:?}");
+    };
+    assert_eq!(phase, "leader_bfs", "the very first phase starves");
+    assert_ne!(node, peer, "a directed edge has distinct endpoints");
+    assert!(
+        g.neighbors(*node).iter().any(|a| a.neighbor == *peer),
+        "the reported pair is an actual edge of the graph"
+    );
+    assert_eq!(*attempts, 64, "the plan's budget is echoed back");
+    assert_eq!(*round, 0, "the stuck payload was sent at boot");
+    assert_eq!(err, run(), "the starvation diagnosis is deterministic");
 }
