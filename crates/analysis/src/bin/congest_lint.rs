@@ -1,0 +1,81 @@
+//! `congest_lint` — the workspace invariant linter.
+//!
+//! Usage: `cargo run -p mincut-analysis --bin congest_lint [-- --root DIR]`
+//!
+//! Without `--root`, the workspace root is discovered by walking up from
+//! the current directory to the first `Cargo.toml` declaring
+//! `[workspace]`. Exit status is 0 when clean, 1 when any violation is
+//! found (each printed as `file:line: [rule] message`), 2 on usage or
+//! I/O errors.
+
+use mincut_analysis::lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("congest_lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: congest_lint [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("congest_lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("congest_lint: no workspace root found (try --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("congest_lint: {} has no Cargo.toml", root.display());
+        return ExitCode::from(2);
+    }
+
+    let violations = match lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("congest_lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("congest_lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("congest_lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

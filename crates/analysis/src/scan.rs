@@ -1,0 +1,393 @@
+//! A hand-rolled lexical scanner for Rust source.
+//!
+//! The lint container is fully offline, so there is no `syn`/`proc-macro2`
+//! to lean on; the lints in this crate need much less than a parse anyway.
+//! This scanner splits a source file into [`Piece`]s — code, comments, and
+//! string literals — handling the lexical constructs that make naive
+//! regex/substring scanning wrong:
+//!
+//! * line comments and **nested** block comments (`/* /* */ */`);
+//! * string literals with escapes (`"\""`), raw strings with hash fences
+//!   (`r#"…"#`), and byte-string variants;
+//! * char literals (`'"'`, `'\''`) vs. lifetimes (`'a`), so an apostrophe
+//!   does not open a bogus "string";
+//! * identifier boundaries, so the word `unsafe` is found in
+//!   `unsafe impl` but not in `unsafe_code` or `"unsafe"`.
+//!
+//! What it deliberately does **not** do: macro expansion, path resolution,
+//! type checking. The lints compensate by matching on lexical context
+//! (e.g. "a string literal immediately preceded by `run(`"), which is
+//! stable for the idioms this workspace actually uses.
+
+/// One lexical piece of a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// A run of plain code (everything that is not a comment or string).
+    Code {
+        /// The verbatim text.
+        text: String,
+        /// 1-based line of the piece's first character.
+        line: usize,
+    },
+    /// A string literal (regular, raw, or byte); `text` excludes the
+    /// quotes and any raw-string fences.
+    Str {
+        /// The literal's content, verbatim (escapes not processed).
+        text: String,
+        /// 1-based line of the opening quote.
+        line: usize,
+    },
+    /// A comment; `text` excludes the delimiters, `doc` marks
+    /// `///`/`//!`/`/**`/`/*!` forms.
+    Comment {
+        /// The comment body.
+        text: String,
+        /// 1-based line where the comment starts.
+        line: usize,
+        /// Is this a doc comment?
+        doc: bool,
+    },
+}
+
+impl Piece {
+    /// The 1-based starting line of this piece.
+    pub fn line(&self) -> usize {
+        match self {
+            Piece::Code { line, .. } | Piece::Str { line, .. } | Piece::Comment { line, .. } => {
+                *line
+            }
+        }
+    }
+}
+
+/// A word (identifier or keyword) found in code, with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    /// The identifier text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Splits `src` into lexical pieces. Unterminated constructs (a string or
+/// block comment running to EOF) are tolerated and yield a final piece —
+/// the lints should report real violations, not choke on odd files.
+pub fn lex(src: &str) -> Vec<Piece> {
+    let b = src.as_bytes();
+    let mut pieces = Vec::new();
+    let mut code = String::new();
+    let mut code_line = 1usize;
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! flush_code {
+        () => {
+            if !code.is_empty() {
+                pieces.push(Piece::Code {
+                    text: std::mem::take(&mut code),
+                    line: code_line,
+                });
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                flush_code!();
+                let start_line = line;
+                let doc = matches!(b.get(i + 2), Some(b'/') | Some(b'!'));
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                pieces.push(Piece::Comment {
+                    text: src[i + 2..j].to_string(),
+                    line: start_line,
+                    doc,
+                });
+                i = j;
+                code_line = line;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                flush_code!();
+                let start_line = line;
+                let doc = matches!(b.get(i + 2), Some(b'*') | Some(b'!'));
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(i + 2);
+                pieces.push(Piece::Comment {
+                    text: src[i + 2..end].to_string(),
+                    line: start_line,
+                    doc,
+                });
+                i = j;
+                code_line = line;
+            }
+            b'"' => {
+                flush_code!();
+                let start_line = line;
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                let end = j.min(b.len());
+                pieces.push(Piece::Str {
+                    text: src[i + 1..end].to_string(),
+                    line: start_line,
+                });
+                i = end + 1;
+                code_line = line;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"…", r#"…"#, br"…", b"…" etc.: find the quote, count
+                // the hash fence, then scan to `"` followed by that many
+                // hashes.
+                let start_line = line;
+                let mut j = i;
+                while b[j] != b'"' && b[j] != b'#' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // `j` is now at the opening quote.
+                flush_code!();
+                let content_start = j + 1;
+                let mut k = content_start;
+                'scan: while k < b.len() {
+                    if b[k] == b'\n' {
+                        line += 1;
+                        k += 1;
+                        continue;
+                    }
+                    if b[k] == b'"' {
+                        let mut h = 0;
+                        while h < hashes && k + 1 + h < b.len() && b[k + 1 + h] == b'#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                let content_end = k.min(b.len());
+                pieces.push(Piece::Str {
+                    text: src[content_start..content_end].to_string(),
+                    line: start_line,
+                });
+                i = (content_end + 1 + hashes).min(b.len());
+                code_line = line;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal is 'x', '\n',
+                // '\'', '\u{…}'; a lifetime is 'ident with no closing
+                // quote. Distinguish by looking for the closing quote.
+                if code.is_empty() {
+                    code_line = line;
+                }
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal: consume through the closing '.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    code.push_str(&src[i..(j + 1).min(b.len())]);
+                    i = j + 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    // Plain char literal 'x' (x may be any byte but \).
+                    code.push_str(&src[i..i + 3]);
+                    if b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 3;
+                } else {
+                    // A lifetime (or `'static`): just the apostrophe; the
+                    // identifier is consumed as ordinary code.
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                if code.is_empty() {
+                    code_line = line;
+                }
+                if c == b'\n' {
+                    line += 1;
+                }
+                code.push(c as char);
+                // Multi-byte UTF-8: push the raw bytes as chars is wrong;
+                // copy the whole scalar instead.
+                if c >= 0x80 {
+                    code.pop();
+                    let ch_len = utf8_len(c);
+                    code.push_str(&src[i..i + ch_len]);
+                    i += ch_len;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+    flush_code!();
+    pieces
+}
+
+/// Does position `i` (pointing at `r` or `b`) start a raw/byte string?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // Reject when preceded by an identifier char ("prior" is part of a
+    // larger word like `ptr` or `rb`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    // Accept prefixes r, b, br, rb (lexically; rustc only allows some).
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    let mut k = j;
+    while k < b.len() && b[k] == b'#' {
+        k += 1;
+    }
+    // A raw form needs either hashes or the r prefix; a bare b"…" is
+    // handled here too (same scanning works with zero hashes).
+    k < b.len() && b[k] == b'"' && (k > j || b[i] != b'b' || j == i + 1)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// Extracts every identifier/keyword word from the code pieces of `pieces`,
+/// with line numbers (comments and strings do not contribute).
+pub fn code_words(pieces: &[Piece]) -> Vec<Word> {
+    let mut words = Vec::new();
+    for p in pieces {
+        let Piece::Code { text, line } = p else {
+            continue;
+        };
+        let mut cur_line = *line;
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c == b'\n' {
+                cur_line += 1;
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                words.push(Word {
+                    text: text[start..i].to_string(),
+                    line: cur_line,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|p| match p {
+                Piece::Str { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn word_list(src: &str) -> Vec<String> {
+        code_words(&lex(src)).into_iter().map(|w| w.text).collect()
+    }
+
+    #[test]
+    fn comments_do_not_hide_in_strings_nor_vice_versa() {
+        let src = r##"let a = "// not a comment"; // real "not a string"
+/* block "ignored" /* nested */ still comment */ let b = 1;"##;
+        let pieces = lex(src);
+        assert_eq!(strs(src), ["// not a comment"]);
+        let comments: Vec<_> = pieces
+            .iter()
+            .filter(|p| matches!(p, Piece::Comment { .. }))
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(word_list(src).contains(&"let".to_string()));
+        assert!(!word_list(src).contains(&"ignored".to_string()));
+    }
+
+    #[test]
+    fn escapes_and_raw_strings_lex_correctly() {
+        let src = r###"let s = "quote \" inside"; let r = r#"raw "quoted" text"#;"###;
+        assert_eq!(strs(src), [r#"quote \" inside"#, r#"raw "quoted" text"#]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_open_strings() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let s = \"real\"; }";
+        assert_eq!(strs(src), ["real"]);
+    }
+
+    #[test]
+    fn words_respect_identifier_boundaries() {
+        let src =
+            "#![deny(unsafe_code)] unsafe impl Foo {} // unsafe in comment\nlet s = \"unsafe\";";
+        let words = word_list(src);
+        assert_eq!(
+            words.iter().filter(|w| *w == "unsafe").count(),
+            1,
+            "only the real keyword counts: {words:?}"
+        );
+        assert!(words.contains(&"unsafe_code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_pieces() {
+        let src = "line1\nline2 /* c\nc */ \"s\"\nunsafe";
+        let words = code_words(&lex(src));
+        let u = words.iter().find(|w| w.text == "unsafe").expect("found");
+        assert_eq!(u.line, 4);
+    }
+}

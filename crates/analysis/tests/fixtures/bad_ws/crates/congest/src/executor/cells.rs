@@ -1,0 +1,7 @@
+//! Fixture: an allowlisted path whose `unsafe` lacks a SAFETY comment.
+
+pub fn poke(p: *mut u32) {
+    unsafe {
+        *p = 2;
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: nondeterminism primitives in a replay-exact path.
+
+use std::collections::HashMap;
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn table() -> HashMap<u8, u8> {
+    HashMap::new()
+}

@@ -1,0 +1,7 @@
+//! Fixture: phase-name literals that violate the registry contract.
+
+pub fn drive(net: &mut Network, ledger: &Ledger) {
+    net.run("bogus_stem.x", Alg, inputs).unwrap();
+    let _name = format!("nope.l{level}.exch");
+    let _n = ledger.messages_matching("zzz");
+}

@@ -1,0 +1,13 @@
+//! Fixture: `unsafe` outside the executor-core allowlist. The SAFETY
+//! comment does not save it — the *location* is the violation.
+
+pub fn touch(p: *mut u32) {
+    // SAFETY: p is valid — but this file is not allowlisted.
+    unsafe {
+        *p = 1;
+    }
+}
+
+pub fn use_widget() -> u32 {
+    widget_fn()
+}

@@ -1,0 +1,6 @@
+//! Fixture stub: exports `widget_fn` (consumed by `crates/other`) but
+//! the README row documents a `ghost_item` that does not exist.
+
+pub fn widget_fn() -> u32 {
+    7
+}

@@ -1,0 +1,15 @@
+//! Smoke test for the `interleave_check` binary: all scenarios run to
+//! completion and the falsification scenario reports counterexamples.
+
+use std::process::Command;
+
+#[test]
+fn interleave_check_passes_and_reports_the_falsification() {
+    let out = Command::new(env!("CARGO_BIN_EXE_interleave_check"))
+        .output()
+        .expect("interleave_check runs");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("5 scenario(s) passed"), "{stdout}");
+    assert!(stdout.contains("falsified"), "{stdout}");
+}

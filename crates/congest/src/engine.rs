@@ -198,6 +198,10 @@ impl<'g> Network<'g> {
         algo: &A,
         inputs: Vec<A::Input>,
     ) -> Result<RunOutcome<A::Output>, CongestError> {
+        debug_assert!(
+            crate::phase::is_valid_name(name),
+            "phase name {name:?} violates the stem.sub grammar (see congest::phase)"
+        );
         let n = self.graph.node_count();
         if inputs.len() != n {
             return Err(CongestError::WrongInputCount {

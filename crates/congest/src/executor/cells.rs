@@ -27,12 +27,26 @@
 #![allow(unsafe_code)]
 
 use std::cell::UnsafeCell;
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A slice of values individually mutable through a shared reference,
 /// provided callers access disjoint indices (see the module docs).
+///
+/// Debug builds carry a per-cell **exclusivity tag**: before a
+/// contract-bearing access, the executor stamps the cell with the
+/// current sweep epoch via [`SyncCells::claim`]. Two claims of the same
+/// cell in the same epoch mean two workers believed they owned it — the
+/// exact discipline violation the `unsafe` here relies on never
+/// happening — and abort loudly instead of racing silently. Release
+/// builds compile the tags away entirely.
 pub(crate) struct SyncCells<T> {
     cells: Vec<UnsafeCell<T>>,
+    /// Last claim epoch per cell (`u64::MAX` = never claimed; real
+    /// epochs are sweep numbers, bounded by the round cap).
+    #[cfg(debug_assertions)]
+    claims: Vec<AtomicU64>,
 }
 
 // SAFETY: `SyncCells` hands out `&mut T` across threads only via the
@@ -43,9 +57,37 @@ unsafe impl<T: Send> Sync for SyncCells<T> {}
 impl<T> SyncCells<T> {
     /// Wraps `values` into individually-mutable cells.
     pub(crate) fn new(values: Vec<T>) -> Self {
+        #[cfg(debug_assertions)]
+        let claims = (0..values.len())
+            .map(|_| AtomicU64::new(u64::MAX))
+            .collect();
         SyncCells {
             cells: values.into_iter().map(UnsafeCell::new).collect(),
+            #[cfg(debug_assertions)]
+            claims,
         }
+    }
+
+    /// Stamps cell `i` as claimed for `epoch` (debug builds only),
+    /// asserting no other claim of the same cell happened in the same
+    /// epoch. Executors call this at every contract-bearing access —
+    /// node-cell chunks with the sweep number, slot writes with the
+    /// writing round, slot takes with the reading round — so a broken
+    /// disjointness discipline fails an assertion instead of racing.
+    /// The atomic swap makes even two *racing* claimants observe each
+    /// other: at least one sees the other's epoch.
+    #[inline]
+    pub(crate) fn claim(&self, i: usize, epoch: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.claims[i].swap(epoch, Ordering::Relaxed);
+            assert_ne!(
+                prev, epoch,
+                "executor exclusivity violation: cell {i} claimed twice in epoch {epoch}"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (i, epoch);
     }
 
     /// Exclusive access to cell `i` through a shared reference.
@@ -109,6 +151,17 @@ impl<M> SlotArena<M> {
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn slot_mut(&self, slot: usize) -> &mut Option<M> {
         self.slots.get_mut(slot)
+    }
+
+    /// Debug-only exclusivity stamp for `slot` (see [`SyncCells::claim`]).
+    /// Writers claim with the writing round, readers with the reading
+    /// round; since one arena of the double buffer is written in round
+    /// `r` and drained in round `r + 1`, every disciplined access of a
+    /// slot carries a distinct epoch, and a same-epoch collision is
+    /// precisely a double-write or double-take race.
+    #[inline]
+    pub(crate) fn claim_slot(&self, slot: usize, epoch: u64) {
+        self.slots.claim(slot, epoch);
     }
 
     /// Occupied-slot count of node `v`'s inbox (relaxed: ordering is

@@ -12,13 +12,14 @@
 #![allow(unsafe_code)]
 
 use super::cells::{SlotArena, SyncCells};
+use super::protocol::{ChunkClaimer, DrainSm, DrainStep, SendSm, SendStep, SlotMem};
 use super::PhaseSpec;
 use crate::algorithm::{Algorithm, Step};
 use crate::error::CongestError;
 use crate::message::Message;
 use crate::node::Port;
 use graphs::NodeId;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 
 /// Per-node executor state: the algorithm state plus the halted flag.
 pub(crate) struct NodeCell<S> {
@@ -64,6 +65,82 @@ impl<'a, A: Algorithm> PhaseState<'a, A> {
     /// last sweep, when no workers exist.
     pub(crate) fn max_edge_load_bits(&mut self) -> usize {
         self.edge_load.iter_exclusive().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// The real executors' [`SlotMem`]: one arena half plus the phase's
+/// cumulative edge-load accumulators, stamped with the sweep epoch for
+/// the debug-build exclusivity tags. This is the *only* place the slot
+/// protocol meets the `unsafe` cells — the protocol state machines in
+/// [`super::protocol`] are themselves safe code, shared verbatim with
+/// the interleaving model checker in `crates/analysis`.
+///
+/// Soundness of every `unsafe` block below rests on the callers obeying
+/// the protocol discipline of [`super::cells`]: a slot is written only
+/// by its unique sender in the writing round (after the occupancy check
+/// that doubles as the `DoubleSend` rule), and read only by the unique
+/// worker owning its destination in the reading round, on the other
+/// half of the double buffer; the inter-sweep join is the
+/// happens-before edge between the two. Debug builds additionally
+/// *check* the discipline via the epoch claims.
+struct ArenaSlotMem<'x, M> {
+    arena: &'x SlotArena<M>,
+    edge_load: &'x SyncCells<u64>,
+    /// The sweep epoch claims are stamped with (boot = 0, else the
+    /// round number).
+    epoch: u64,
+}
+
+impl<M> SlotMem for ArenaSlotMem<'_, M> {
+    type Payload = M;
+
+    fn slot_occupied(&self, slot: usize) -> bool {
+        // SAFETY: the occupancy check is part of the sender's send
+        // sequence, and the sender holds exclusive write access to
+        // `slot` for this round (sender-unique `write_slot` mapping);
+        // no reader exists because reads go to the other arena of the
+        // double buffer. The borrow ends at the `is_some()`.
+        unsafe { self.arena.slot_mut(slot) }.is_some()
+    }
+
+    fn slot_write(&self, slot: usize, payload: M) {
+        self.arena.claim_slot(slot, self.epoch);
+        // SAFETY: only `slot`'s unique sender reaches a write — the
+        // protocol abandons the send machine when the occupancy check
+        // fails — and reads go to the other arena half this round, so
+        // this `&mut` is exclusive. (The debug claim above turns any
+        // violation of that argument into an assertion failure.)
+        *unsafe { self.arena.slot_mut(slot) } = Some(payload);
+    }
+
+    fn slot_take(&self, slot: usize) -> Option<M> {
+        self.arena.claim_slot(slot, self.epoch);
+        // SAFETY: `slot` lies in the inbox range of a destination owned
+        // by the calling worker this sweep (disjoint chunk claims), and
+        // senders write the other arena half this round, so this `&mut`
+        // is exclusive.
+        unsafe { self.arena.slot_mut(slot) }.take()
+    }
+
+    fn edge_load_add(&self, slot: usize, bits: u64) {
+        self.edge_load.claim(slot, self.epoch);
+        // SAFETY: the edge-load accumulator of a directed edge is
+        // written only by that edge's unique sender (same single-writer
+        // argument as the slot itself), at most once per round thanks
+        // to the occupancy check.
+        *unsafe { self.edge_load.get_mut(slot) } += bits;
+    }
+
+    fn pending_read(&self, dest: usize) -> u32 {
+        self.arena.pending(dest)
+    }
+
+    fn pending_fetch_add(&self, dest: usize) -> u32 {
+        self.arena.add_pending(dest)
+    }
+
+    fn pending_reset(&self, dest: usize) {
+        self.arena.reset_pending(dest);
     }
 }
 
@@ -187,6 +264,7 @@ pub(crate) fn execute_sweep<A: Algorithm>(
             chunk,
             inline_below,
         } if len > chunk && len >= inline_below && threads > 1 => {
+            let claimer = ChunkClaimer { chunk, len };
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
@@ -194,13 +272,16 @@ pub(crate) fn execute_sweep<A: Algorithm>(
                         scope.spawn(|| {
                             let mut stats = SweepStats::default();
                             let mut scratch = Vec::with_capacity(ps.spec.max_degree);
-                            loop {
-                                let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                                if lo >= len {
-                                    break;
-                                }
-                                let hi = (lo + chunk).min(len);
-                                run_nodes(ps, sweep, domain, lo, hi, &mut scratch, &mut stats);
+                            while let Some(range) = claimer.claim(&cursor) {
+                                run_nodes(
+                                    ps,
+                                    sweep,
+                                    domain,
+                                    range.start,
+                                    range.end,
+                                    &mut scratch,
+                                    &mut stats,
+                                );
                             }
                             stats
                         })
@@ -263,12 +344,16 @@ fn run_nodes<A: Algorithm>(
                         }
                     }
                 };
-                // SAFETY: `v` is in this worker's claimed chunk.
+                inputs.claim(v, 0);
+                // SAFETY: `v` is in this worker's claimed chunk — chunks
+                // are disjoint (see `ChunkClaimer`), so no other worker
+                // touches input or node cell `v` this sweep.
                 let input = unsafe { inputs.get_mut(v) }
                     .take()
                     .expect("exactly one input per node");
                 let ctx = spec.ctx(v, 0);
                 let (state, outbox) = ps.algo.boot(&ctx, input);
+                ps.nodes.claim(v, 0);
                 // SAFETY: as above.
                 unsafe { ps.nodes.get_mut(v) }.state = Some(state);
                 route_outbox(ps, v, 0, outbox.msgs, write, stats);
@@ -302,20 +387,24 @@ fn run_nodes<A: Algorithm>(
                             );
                             continue;
                         }
-                        // Lax mode: drop the inbox.
-                        let base = spec.slot_base[v];
-                        let end = spec.slot_base[v + 1];
-                        for s in base..end {
-                            // SAFETY: this worker owns destination `v`.
-                            unsafe { read.slot_mut(s) }.take();
-                        }
-                        read.reset_pending(v);
+                        // Lax mode: drop the inbox (the drain machine
+                        // consumes every slot, then clears pending).
+                        let mem = ArenaSlotMem {
+                            arena: read,
+                            edge_load: &ps.edge_load,
+                            epoch: *round,
+                        };
+                        let mut drain = DrainSm::new(v, spec.slot_base[v], spec.slot_base[v + 1]);
+                        while drain.step(&mem).is_some() {}
                         stats.delivered += pending as usize;
                     }
                     continue;
                 }
-                // SAFETY: `v` is in this worker's claimed chunk; if it is
-                // a stale-halted entry its cell is only read here.
+                ps.nodes.claim(v, *round);
+                // SAFETY: `v` is in this worker's claimed chunk — chunks
+                // are disjoint, so this is the sweep's only borrow of
+                // cell `v` (if `v` is a stale-halted entry, the halted
+                // segment touches only its inbox, never this cell).
                 let cell = unsafe { ps.nodes.get_mut(v) };
                 if cell.halted {
                     // Stale live-list entry awaiting compaction. Its
@@ -324,15 +413,21 @@ fn run_nodes<A: Algorithm>(
                 }
                 scratch.clear();
                 if read.pending(v) > 0 {
-                    let base = spec.slot_base[v];
-                    let end = spec.slot_base[v + 1];
-                    for (p, s) in (base..end).enumerate() {
-                        // SAFETY: this worker owns destination `v`.
-                        if let Some(m) = unsafe { read.slot_mut(s) }.take() {
-                            scratch.push((Port(p as u32), m));
+                    let mem = ArenaSlotMem {
+                        arena: read,
+                        edge_load: &ps.edge_load,
+                        epoch: *round,
+                    };
+                    let mut drain = DrainSm::new(v, spec.slot_base[v], spec.slot_base[v + 1]);
+                    while let Some(step) = drain.step(&mem) {
+                        if let DrainStep::Took {
+                            port,
+                            payload: Some(m),
+                        } = step
+                        {
+                            scratch.push((Port(port), m));
                         }
                     }
-                    read.reset_pending(v);
                     stats.delivered += scratch.len();
                 }
                 let ctx = spec.ctx(v, *round);
@@ -355,7 +450,11 @@ fn run_nodes<A: Algorithm>(
 /// engine's invariants are enforced here: ports must exist, a port may
 /// carry at most one message per round (slot occupancy *is* the
 /// `DoubleSend` check — the slot belongs to this sender alone), and
-/// strict mode rejects over-budget messages.
+/// strict mode rejects over-budget messages. Each send drives one
+/// [`SendSm`] over the arena: the occupancy check first, then — with
+/// the bandwidth validation and metering sandwiched in between, exactly
+/// where the engine's error precedence demands — the load/pending/write
+/// completion.
 fn route_outbox<A: Algorithm>(
     ps: &PhaseState<'_, A>,
     v: usize,
@@ -367,6 +466,11 @@ fn route_outbox<A: Algorithm>(
     let spec = ps.spec;
     let degree = spec.neighbors[v].len();
     let base = spec.slot_base[v];
+    let mem = ArenaSlotMem {
+        arena: write,
+        edge_load: &ps.edge_load,
+        epoch: round,
+    };
     for (port, msg) in msgs {
         let p = port.index();
         if p >= degree {
@@ -382,10 +486,12 @@ fn route_outbox<A: Algorithm>(
             return;
         }
         let slot = spec.write_slot[base + p];
-        // SAFETY: `slot` names the directed edge (v, p); only this sender
-        // writes it this round.
-        let cell = unsafe { write.slot_mut(slot) };
-        if cell.is_some() {
+        let (dest, _) = spec.routing[v][p];
+        let bits = msg.bit_len();
+        let mut sm = SendSm::new(slot, dest as usize, bits as u64);
+        if (sm.step(&mem, &mut None)) == (SendStep::Checked { occupied: true }) {
+            // The machine is abandoned here having touched nothing:
+            // slot occupancy is the DoubleSend condition.
             stats.record_err(
                 v,
                 CongestError::DoubleSend {
@@ -397,7 +503,6 @@ fn route_outbox<A: Algorithm>(
             );
             return;
         }
-        let bits = msg.bit_len();
         if bits > spec.bandwidth_bits {
             if spec.strict {
                 stats.record_err(
@@ -418,16 +523,10 @@ fn route_outbox<A: Algorithm>(
         stats.messages += 1;
         stats.bits += bits as u64;
         stats.max_message_bits = stats.max_message_bits.max(bits);
-        // SAFETY: same single-writer argument as the slot itself.
-        unsafe {
-            *ps.edge_load.get_mut(slot) += bits as u64;
-        }
-        let (dest, _) = spec.routing[v][p];
-        if write.add_pending(dest as usize) == 0 {
+        if sm.complete(&mem, msg) {
             // First message into `dest` this round: nominate it for the
             // next round's touched set.
             stats.touched.push(dest);
         }
-        *cell = Some(msg);
     }
 }

@@ -65,6 +65,7 @@ pub mod executor;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod phase;
 pub mod primitives;
 pub mod sim;
 

@@ -1,0 +1,150 @@
+//! Edge cases of the crash-schedule algebra: [`FaultPlan::rebased`]
+//! (the recovery driver's clock shift) and [`FaultPlan::remapped`] (the
+//! surviving-subgraph rename). These two are composed by the
+//! self-healing driver after every aborted phase, so their boundary
+//! behaviour — dead-from-boot events, rejoins landing exactly on the
+//! consumed-round boundary, correlated groups partially excised —
+//! decides whether a recovery replays the same faults or silently
+//! drifts.
+
+use congest::{CrashEvent, FaultPlan};
+
+fn ev(node: u32, at_round: u64, rejoin: Option<u64>) -> CrashEvent {
+    CrashEvent {
+        node,
+        at_round,
+        rejoin,
+    }
+}
+
+#[test]
+fn crash_at_round_zero_is_dead_from_boot_and_stays_dead_under_rebasing() {
+    let plan = FaultPlan::lossless().with_crash(4, 0);
+    assert_eq!(plan.crash_round_of(4, 0), Some(0), "dead from boot");
+    assert_eq!(plan.crash_round_of(4, 1_000), Some(0), "dead forever");
+
+    // Rebasing cannot resurrect it: saturating_sub pins at_round at 0.
+    let shifted = plan.rebased(77);
+    assert_eq!(shifted.crashes, [ev(4, 0, None)]);
+    assert_eq!(shifted.crash_round_of(4, 0), Some(0));
+}
+
+#[test]
+fn rebasing_by_zero_is_the_identity() {
+    let plan = FaultPlan::lossless()
+        .with_crash(1, 9)
+        .with_crashes(vec![ev(2, 10, Some(30)), ev(3, 0, None)]);
+    assert_eq!(plan.rebased(0), plan);
+}
+
+#[test]
+fn rejoin_landing_exactly_on_the_boundary_expires_the_event() {
+    let plan = FaultPlan::lossless().with_crashes(vec![ev(2, 10, Some(30))]);
+
+    // rejoin == consumed: the outage is over when the next phase starts,
+    // so the event must vanish (the node is alive again). Keeping it
+    // would subtract below the rejoin and re-kill a healthy node.
+    assert!(
+        !plan.rebased(30).has_crashes(),
+        "rejoin == consumed expires"
+    );
+    assert!(!plan.rebased(31).has_crashes(), "rejoin < consumed expires");
+
+    // One round short of the boundary: still down, rejoin pending at
+    // global round 1 of the rebased clock.
+    let pending = plan.rebased(29);
+    assert_eq!(pending.crashes, [ev(2, 0, Some(1))]);
+    assert_eq!(pending.crash_round_of(2, 0), Some(0), "down at boot");
+    assert_eq!(pending.crash_round_of(2, 1), None, "back at the boundary");
+}
+
+#[test]
+fn mid_outage_rebasing_pins_the_crash_and_shifts_the_rejoin_together() {
+    let plan = FaultPlan::lossless().with_crashes(vec![ev(9, 40, Some(100))]);
+    let mid = plan.rebased(60); // 20 rounds into the outage
+    assert_eq!(mid.crashes, [ev(9, 0, Some(40))]);
+    // The outage length left (40 rounds) is exactly what remained.
+    assert_eq!(mid.crash_round_of(9, 39), Some(0));
+    assert_eq!(mid.crash_round_of(9, 40), None);
+}
+
+#[test]
+fn rebasing_composes_additively() {
+    let plan = FaultPlan::lossless().with_crashes(vec![
+        ev(1, 5, None),
+        ev(2, 50, Some(80)),
+        ev(3, 0, None),
+        ev(4, 12, Some(25)),
+    ]);
+    for (a, b) in [(0, 17), (10, 15), (25, 0), (13, 13), (60, 60)] {
+        assert_eq!(
+            plan.rebased(a).rebased(b),
+            plan.rebased(a + b),
+            "rebased({a}).rebased({b}) must equal rebased({})",
+            a + b
+        );
+    }
+}
+
+#[test]
+fn correlated_group_remap_drops_excised_members_and_renames_the_rest() {
+    // A rack of three dies together; the recovery driver excises node 3
+    // (it is outside the surviving component) and compacts ids.
+    let plan = FaultPlan::lossless().with_crash_group(&[2, 3, 4], 60);
+    let survivors = plan.remapped(|v| match v {
+        3 => None,
+        v if v > 3 => Some(v - 1),
+        v => Some(v),
+    });
+    assert_eq!(survivors.crashes, [ev(2, 60, None), ev(3, 60, None)]);
+    // The group stays correlated: both remaining members still fail at
+    // the same global round.
+    assert_eq!(survivors.crash_round_of(2, 59), Some(1));
+    assert_eq!(survivors.crash_round_of(3, 59), Some(1));
+}
+
+#[test]
+fn remap_to_the_empty_schedule_disarms_the_crash_machinery() {
+    let plan = FaultPlan::lossless().with_crash(5, 10);
+    assert!(plan.has_crashes());
+    let none = plan.remapped(|_| None);
+    assert!(!none.has_crashes(), "all events excised → crash-free plan");
+    // Everything but the schedule is untouched (coins, timers, policy).
+    assert_eq!(none, FaultPlan::lossless());
+}
+
+#[test]
+fn remap_then_rebase_equals_rebase_then_remap() {
+    // The recovery driver applies both per recovery step; order must not
+    // matter, or two drivers disagreeing on it would diverge.
+    let plan = FaultPlan::lossless().with_crashes(vec![
+        ev(1, 5, None),
+        ev(6, 50, Some(70)),
+        ev(7, 90, None),
+    ]);
+    let map = |v: u32| if v == 1 { None } else { Some(v - 1) };
+    for consumed in [0, 5, 49, 70, 95] {
+        assert_eq!(
+            plan.remapped(map).rebased(consumed),
+            plan.rebased(consumed).remapped(map),
+            "consumed = {consumed}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_events_for_one_node_take_the_earliest_crash() {
+    // Two overlapping schedules for the same node (e.g. a group crash
+    // composed with an individual one): the node dies at the *earliest*
+    // scheduled round among the events still live at the phase base.
+    let plan = FaultPlan::lossless()
+        .with_crash(8, 30)
+        .with_crash_group(&[8, 9], 50);
+    assert_eq!(plan.crash_round_of(8, 0), Some(30));
+    assert_eq!(plan.crash_round_of(9, 0), Some(50));
+    // After the first outage is consumed, the earlier event has pinned
+    // to 0 — the node stays dead through the second schedule too.
+    let later = plan.rebased(40);
+    assert_eq!(later.crash_round_of(8, 0), Some(0));
+    assert_eq!(later.crash_round_of(9, 0), Some(10));
+}
