@@ -4,4 +4,8 @@ pub fn drive(net: &mut Network, ledger: &Ledger) {
     net.run("bogus_stem.x", Alg, inputs).unwrap();
     let _name = format!("nope.l{level}.exch");
     let _n = ledger.messages_matching("zzz");
+    // A fused sub-phase under a typo'd phase-A stem: `mstA` is
+    // registered, `mstA2` is not — the lint must catch the stem even
+    // through the format! level interpolation.
+    let _cd = format!("mstA2.l{level}.cd");
 }

@@ -11,11 +11,13 @@
 //!
 //! Besides the per-run totals, every (instance, executor) pair emits
 //! **per-phase rows** (`phase_rows`): the ledger grouped by phase-label
-//! stem (`leader_bfs`, `mstA`, `s4a`, …) with rounds/messages/bits each,
-//! and the top-3 message-heavy phases are printed per instance — so the
-//! trajectory shows *where* the traffic goes, not just how much there
-//! is. That is the accounting that proved (and now guards, see
-//! `message_gate`) the staged-election win.
+//! stem (`leader_bfs`, `mstA`, `s4a`, …) with rounds/messages/bits and
+//! the stem's accumulated engine wall time (`wall_ms`) each, and both
+//! the top-3 message-heavy and the top-3 round-heavy stems are printed
+//! per instance — so the trajectory shows *where* the traffic and the
+//! time go, not just how much there is. That is the accounting that
+//! proved (and now guards, see `message_gate`) the staged-election and
+//! phase-A wins.
 //!
 //! Runs in seconds — this is a trend probe, not a full E1–E10 evaluation
 //! (`run_all` remains that). Pass `--large` to append the 70602-node
@@ -207,9 +209,10 @@ fn main() {
         .flat_map(|s| {
             s.ledger.grouped_by_stem().into_iter().map(|(stem, g)| {
                 format!(
-                    "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"phase\": \"{stem}\", \"phases\": {}, \"rounds\": {}, \"messages\": {}, \"bits\": {}, \"phys_rounds\": {}, \"dropped\": {}, \"retransmitted\": {}}}",
+                    "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"phase\": \"{stem}\", \"phases\": {}, \"rounds\": {}, \"messages\": {}, \"bits\": {}, \"phys_rounds\": {}, \"dropped\": {}, \"retransmitted\": {}, \"wall_ms\": {:.3}}}",
                     s.instance, s.executor, g.phases, g.rounds, g.messages, g.bits,
-                    g.sim.phys_rounds, g.sim.dropped, g.sim.retransmitted
+                    g.sim.phys_rounds, g.sim.dropped, g.sim.retransmitted,
+                    s.ledger.wall_ms_of_stem(&stem)
                 )
             })
         })
@@ -236,6 +239,26 @@ fn main() {
             })
             .collect();
         println!("top phases {}: {}", s.instance, top.join(", "));
+    }
+    // Where does the *time* go in CONGEST terms: top-3 round-heavy phase
+    // stems per instance. Message-heavy and round-heavy are different
+    // phases (a flood is message-heavy in one round; a deep convergecast
+    // is the opposite), so both rankings are printed.
+    for s in samples.iter().filter(|s| s.executor == "serial") {
+        let mut groups = s.ledger.grouped_by_stem();
+        groups.sort_by_key(|(_, g)| std::cmp::Reverse(g.rounds));
+        let top: Vec<String> = groups
+            .iter()
+            .take(3)
+            .map(|(stem, g)| {
+                format!(
+                    "{stem} {:.1}% ({} rounds)",
+                    100.0 * g.rounds as f64 / s.rounds.max(1) as f64,
+                    g.rounds
+                )
+            })
+            .collect();
+        println!("top rounds {}: {}", s.instance, top.join(", "));
     }
     // What asynchrony costs: overhead factor + fault tallies per
     // faulty-executor instance.

@@ -224,18 +224,19 @@ impl<'g> Network<'g> {
             parallel_inline_threshold: self.config.parallel_inline_threshold,
             base_round: self.ledger.total_rounds(),
         };
-        let t = trace_enabled().then(std::time::Instant::now);
+        // Wall-clock lives only in the ledger's side vector (and the
+        // optional trace line) — never inside the `Eq`-compared
+        // `PhaseMetrics`, so replay parity across executors is unaffected.
+        let t = std::time::Instant::now();
         let (outputs, metrics) = executor.run_phase(&spec, algo, inputs)?;
-        if let Some(t) = t {
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        if trace_enabled() {
             eprintln!(
-                "congest-trace: {name} rounds={} msgs={} bits={} wall_ms={:.2}",
-                metrics.rounds,
-                metrics.messages,
-                metrics.bits,
-                t.elapsed().as_secs_f64() * 1e3
+                "congest-trace: {name} rounds={} msgs={} bits={} wall_ms={wall_ms:.2}",
+                metrics.rounds, metrics.messages, metrics.bits,
             );
         }
-        self.ledger.push(metrics.clone());
+        self.ledger.push_timed(metrics.clone(), wall_ms);
         Ok(RunOutcome { outputs, metrics })
     }
 }

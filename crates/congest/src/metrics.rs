@@ -78,9 +78,17 @@ impl SimPhaseStats {
 }
 
 /// Accumulated metrics of a session: one entry per executed phase.
+///
+/// Wall-clock timings ride in a *parallel* vector rather than inside
+/// [`PhaseMetrics`]: phase metrics derive `Eq` and the parity suites
+/// compare them byte-for-byte across executors, which host timings would
+/// break. The ledger itself is deliberately not `PartialEq`.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsLedger {
     phases: Vec<PhaseMetrics>,
+    /// Host wall-clock per phase, milliseconds (`walls.len() == phases.len()`;
+    /// `0.0` for phases recorded without a timing).
+    walls: Vec<f64>,
 }
 
 impl MetricsLedger {
@@ -89,9 +97,18 @@ impl MetricsLedger {
         Self::default()
     }
 
-    /// Records a finished phase.
+    /// Records a finished phase (no wall-clock attribution).
     pub fn push(&mut self, m: PhaseMetrics) {
         self.phases.push(m);
+        self.walls.push(0.0);
+    }
+
+    /// Records a finished phase together with its host wall-clock cost in
+    /// milliseconds. The timing lives outside [`PhaseMetrics`] so the
+    /// replay-exact payload metrics stay host-independent.
+    pub fn push_timed(&mut self, m: PhaseMetrics, wall_ms: f64) {
+        self.phases.push(m);
+        self.walls.push(wall_ms);
     }
 
     /// All recorded phases in execution order.
@@ -258,9 +275,28 @@ impl MetricsLedger {
             .collect()
     }
 
+    /// Total host wall-clock across phases, milliseconds.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.walls.iter().sum()
+    }
+
+    /// Sums the wall-clock milliseconds of the phases whose name *stem*
+    /// (up to the first `'.'`) equals `stem` — aligned with the groups of
+    /// [`MetricsLedger::grouped_by_stem`], which carry no timings of
+    /// their own because [`PhaseGroup`] derives `Eq`.
+    pub fn wall_ms_of_stem(&self, stem: &str) -> f64 {
+        self.phases
+            .iter()
+            .zip(&self.walls)
+            .filter(|(p, _)| p.name.split('.').next().unwrap_or(&p.name) == stem)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
     /// Clears all recorded phases.
     pub fn reset(&mut self) {
         self.phases.clear();
+        self.walls.clear();
     }
 }
 

@@ -40,6 +40,9 @@ pub const REGISTERED_STEMS: &[&str] = &[
     "init",
     // MST phase A (capped fragment growth) and phase B (Borůvka over
     // the BFS tree), with their per-level/per-iteration sub-phases.
+    // Phase A's sub-phases differ by mode: legacy emits
+    // `.l{level}.{exch,cand,dec,hook}`, the optimized protocol fuses
+    // cand/dec into `.l{level}.cd` (see `docs/mst.md`).
     "mstA",
     "mstB",
     // Tree orientation (reroot at the fragment leader).
@@ -106,6 +109,7 @@ mod tests {
             "leader_bfs",
             "init.deg",
             "mstA.l12.exch",
+            "mstA.l4.cd",
             "mstB.i3.merge",
             "s2c.up",
             "s5e.delta",

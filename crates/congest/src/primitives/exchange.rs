@@ -129,6 +129,70 @@ impl<T: Message> Algorithm for DeltaExchange<T> {
     }
 }
 
+/// Per-port delta exchange: the echo-suppression discipline of
+/// [`DeltaExchange`], refined from per-node to per-edge. The input is one
+/// `Option<T>` *per port*: `Some(value)` announces `value` on exactly that
+/// edge, `None` keeps that edge silent. `output[port]` is `Some(value)`
+/// exactly for the ports whose neighbor announced on the shared edge.
+///
+/// This is the wire format of the optimized `mstA.*.exch` label refresh:
+/// a relabeled fragment member announces only on its *boundary* ports —
+/// neighbors inside the old fragment relabel with it and reconstruct the
+/// new view locally, so those edges carry nothing. Rounds: 1, messages:
+/// `Σ |Some entries|`.
+#[derive(Clone, Debug, Default)]
+pub struct PortDeltaExchange<T> {
+    // `fn() -> T` keeps the marker `Send + Sync` for any `T`: these
+    // protocol structs carry no `T` values, and the parallel executor
+    // shares them across workers.
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> PortDeltaExchange<T> {
+    /// Creates the phase object.
+    pub fn new() -> Self {
+        PortDeltaExchange {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Message> Algorithm for PortDeltaExchange<T> {
+    /// One entry per port: `Some(value)` announces on that edge only.
+    type Input = Vec<Option<T>>;
+    type State = NxState<T>;
+    type Msg = T;
+    /// `output[port] = Some(value)` for every port whose neighbor announced.
+    type Output = Vec<Option<T>>;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, per_port: Vec<Option<T>>) -> (NxState<T>, Outbox<T>) {
+        assert_eq!(per_port.len(), ctx.degree(), "one entry per port required");
+        let mut out = Outbox::new();
+        for (p, value) in ctx.ports().zip(per_port) {
+            if let Some(value) = value {
+                out.send(p, value);
+            }
+        }
+        (
+            NxState {
+                received: vec![None; ctx.degree()],
+            },
+            out,
+        )
+    }
+
+    fn round(&self, s: &mut NxState<T>, _ctx: &NodeCtx<'_>, inbox: &[(Port, T)]) -> Step<T> {
+        for (port, msg) in inbox {
+            s.received[port.index()] = Some(msg.clone());
+        }
+        Step::halt()
+    }
+
+    fn finish(&self, s: NxState<T>, _ctx: &NodeCtx<'_>) -> FinishResult<Vec<Option<T>>> {
+        Ok(s.received)
+    }
+}
+
 /// Pipelined per-edge list exchange: node `v` sends `input[p]` item by item
 /// through port `p` (ending with a marker) while collecting the symmetric
 /// stream from the other side. All edges proceed in parallel; rounds =
@@ -299,6 +363,46 @@ mod tests {
         let out = net
             .run("dx0", &DeltaExchange::<u64>::new(), vec![None; 5])
             .unwrap();
+        assert!(out.outputs.iter().all(|o| o.iter().all(Option::is_none)));
+        assert_eq!(out.metrics.messages, 0);
+    }
+
+    #[test]
+    fn port_delta_exchange_is_per_edge() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        // Node v announces v*13 only on its port 0 edge.
+        let inputs: Vec<Vec<Option<u64>>> = (0..6u64).map(|v| vec![Some(v * 13), None]).collect();
+        let out = net.run("pdx", &PortDeltaExchange::new(), inputs).unwrap();
+        let mut total = 0usize;
+        for v in 0..6usize {
+            for (p, got) in out.outputs[v].iter().enumerate() {
+                let u = g.neighbors(graphs::NodeId::from_index(v))[p].neighbor;
+                // We hear u iff u's port toward us is u's port 0.
+                let u_port_to_v = g
+                    .neighbors(u)
+                    .iter()
+                    .position(|e| e.neighbor.index() == v)
+                    .unwrap();
+                let want = (u_port_to_v == 0).then_some(u.raw() as u64 * 13);
+                assert_eq!(*got, want, "node {v} port {p}");
+                total += got.is_some() as usize;
+            }
+        }
+        // One edge-message per node.
+        assert_eq!(total, 6);
+        assert_eq!(out.metrics.messages, 6);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn port_delta_exchange_all_silent_is_free() {
+        let g = generators::path(5).unwrap();
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let inputs: Vec<Vec<Option<u64>>> = (0..5usize)
+            .map(|v| vec![None; g.degree(graphs::NodeId::from_index(v))])
+            .collect();
+        let out = net.run("pdx0", &PortDeltaExchange::new(), inputs).unwrap();
         assert!(out.outputs.iter().all(|o| o.iter().all(Option::is_none)));
         assert_eq!(out.metrics.messages, 0);
     }

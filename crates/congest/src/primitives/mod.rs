@@ -19,8 +19,9 @@
 //!   key order on the way up (`O(k + height)` rounds).
 //! * [`grouped_min`] — pipelined grouped argmin under the same pipelining
 //!   bound (the Borůvka-over-BFS aggregation of the distributed MST).
-//! * [`exchange`] — one-round neighbor exchange (full and delta: only
-//!   changed values are announced), and pipelined per-edge list exchange
+//! * [`exchange`] — one-round neighbor exchange (full, delta — only
+//!   changed values are announced — and per-port delta: only *selected
+//!   edges* carry the announcement), and pipelined per-edge list exchange
 //!   (`O(k)` rounds).
 //! * [`failure_detector`] — the idle heartbeat census: under a
 //!   crash-scheduling fault plan, every live node reports which
@@ -48,7 +49,7 @@ pub mod upcast;
 pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
 pub use exchange::DeltaExchange;
-pub use exchange::{EdgeListExchange, NeighborExchange};
+pub use exchange::{EdgeListExchange, NeighborExchange, PortDeltaExchange};
 pub use failure_detector::{FailureDetector, FdReport};
 pub use grouped::{GroupedSum, KeyedSum, SumMonoid};
 pub use grouped_min::{BestMonoid, GroupedBest, KeyedItem, KeyedMin};

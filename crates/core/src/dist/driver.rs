@@ -16,8 +16,8 @@
 //! that a real deployment would obtain from an `O(D)` convergecast.
 
 use crate::dist::mst::{
-    ACand, BorCand, CandAgg, CompMsg, DecMsg, FragHook, FragMsg, HookInput, HookRole, MergeItem,
-    MstConfig, ReportItem,
+    ACand, BorCand, CandAgg, CandDec, CdInput, CompMsg, DecMsg, FragHook, FragHook2, FragMsg,
+    HookInput, HookInput2, HookRole, MergeItem, MstAMode, MstConfig, OptAgg, OptCand, ReportItem,
 };
 use crate::dist::one_respect::{
     AttItem, FragReroot, IntervalDown, IntervalInput, Intervals, NbMsg, PairItem, RerootInput,
@@ -31,7 +31,7 @@ use congest::primitives::leader_bfs::{Election, LeaderBfs};
 use congest::primitives::subtree::SubtreeSums;
 use congest::primitives::{
     Broadcast, BroadcastItems, DeltaExchange, GroupedBest, GroupedSum, NeighborExchange,
-    UpcastItems,
+    PortDeltaExchange, UpcastItems,
 };
 use congest::{ExecutorKind, MetricsLedger, Network, NetworkConfig, Port, TreeInfo};
 use graphs::{CutResult, NodeId, WeightedGraph};
@@ -99,6 +99,12 @@ pub struct DistMinCutResult {
     pub best_node: Option<NodeId>,
     /// Per-phase metrics of the whole run.
     pub ledger: MetricsLedger,
+    /// Edge ids of every packed tree, sorted — one entry per tree, in
+    /// packing order. The mode-independent object the phase-A parity
+    /// suites compare: `MstAMode::Legacy` and `::Optimized` must
+    /// produce identical sets (the MST is unique under the
+    /// weight-then-edge-id tie-break both modes share).
+    pub tree_edges: Vec<Vec<graphs::EdgeId>>,
 }
 
 /// Runs the paper's exact distributed minimum-cut pipeline on `g`.
@@ -141,6 +147,7 @@ pub fn exact_mincut(
         trees_to_best: outcome.trees_to_best,
         best_node: outcome.best_node,
         ledger: outcome.ledger,
+        tree_edges: outcome.tree_edges,
     })
 }
 
@@ -175,6 +182,7 @@ pub(crate) struct PipelineOutcome {
     pub rounds: u64,
     pub messages: u64,
     pub ledger: MetricsLedger,
+    pub tree_edges: Vec<Vec<graphs::EdgeId>>,
 }
 
 /// Per-node persistent local memory threaded through the phases.
@@ -199,9 +207,23 @@ struct NodeMem {
     port_frag: Vec<u32>,
     port_frozen: Vec<bool>,
     port_comp: Vec<u32>,
-    /// Last `(frag, frozen)` announced to the neighbors (mstA delta
-    /// exchange); `None` before the first announcement of a tree.
+    /// Last `(frag, frozen)` announced to the neighbors (legacy mstA
+    /// delta exchange); `None` before the first announcement of a tree.
     ann_frag: Option<FragMsg>,
+    /// Optimized mstA: ports whose neighbor must still be told this
+    /// node's `(frag, frozen)` at the next `.exch` (boundary ports of a
+    /// relabel/freeze; old-fragment neighbors infer the change locally).
+    ann_mask: Vec<bool>,
+    /// Optimized mstA: this node's fragment-tree depth (maintained by
+    /// the hook handshake; drives the `.cd` send schedule).
+    depth: u32,
+    /// Optimized mstA: aggregate last sent up in `.cd` (delta cache).
+    cd_sent: Option<OptAgg>,
+    /// Optimized mstA: last aggregate received per port in `.cd`.
+    cd_children: Vec<Option<OptAgg>>,
+    /// Optimized mstA: the fragment was restructured since the last
+    /// `.cd` pass — drop the caches and speak unconditionally.
+    cd_purge: bool,
     /// Last `(comp, frag)` announced (mstB delta exchange).
     ann_comp: Option<CompMsg>,
     tf: Vec<TfRec>,
@@ -330,6 +352,7 @@ impl<'g> Pipeline<'g> {
 
     /// Resets the per-tree memory before packing the next tree.
     fn reset_tree(&mut self) {
+        let g = self.g;
         for (v, m) in self.mems.iter_mut().enumerate() {
             let deg = m.edge_ids.len();
             m.frag = v as u32;
@@ -340,10 +363,23 @@ impl<'g> Pipeline<'g> {
             m.inter_ports.clear();
             m.inter_parent = None;
             m.inter_children.clear();
-            m.port_frag = vec![0; deg];
+            // Level-0 fragment ids are node ids, and neighbor ids are
+            // a-priori local knowledge in CONGEST — so the optimized
+            // mode's initial per-port view costs zero messages. (The
+            // legacy mode overwrites this with its level-0 broadcast.)
+            m.port_frag = g
+                .neighbors(NodeId::from_index(v))
+                .iter()
+                .map(|a| a.neighbor.raw())
+                .collect();
             m.port_frozen = vec![false; deg];
             m.port_comp = vec![0; deg];
             m.ann_frag = None;
+            m.ann_mask = vec![false; deg];
+            m.depth = 0;
+            m.cd_sent = None;
+            m.cd_children = vec![None; deg];
+            m.cd_purge = false;
             m.ann_comp = None;
             m.tf.clear();
             m.iv = None;
@@ -375,13 +411,213 @@ impl<'g> Pipeline<'g> {
         best
     }
 
-    /// Phase A: capped fragment growth. See [`crate::dist::mst`].
+    /// Phase A: capped fragment growth. See [`crate::dist::mst`] and,
+    /// for the optimized protocol, `docs/mst.md`.
+    fn mst_phase_a(&mut self) -> Result<(), MinCutError> {
+        match self.mst.mode {
+            MstAMode::Legacy => self.mst_phase_a_legacy(),
+            MstAMode::Optimized => self.mst_phase_a_opt(),
+        }
+    }
+
+    /// The optimized phase A: boundary-only label refresh, one fused
+    /// `.cd` pass per level (delta-convergecast up, decision broadcast
+    /// down only when the fragment hooks or freezes), deterministic
+    /// lowest-differing-bit mating, and frozen fragments out of the loop
+    /// entirely.
+    ///
+    /// The per-level `maxdepth` scalar handed to every node is driver
+    /// control plane — a loop-scheduling decision a real deployment
+    /// would obtain from an `O(D)` convergecast, like the termination
+    /// checks above it (see the module docs).
+    fn mst_phase_a_opt(&mut self) -> Result<(), MinCutError> {
+        let cap = self.mst.effective_cap(self.n) as u64;
+        for level in 0..self.mst.max_levels {
+            let frags: BTreeSet<u32> = self.mems.iter().map(|m| m.frag).collect();
+            if frags.len() == 1 || self.mems.iter().all(|m| m.frozen) {
+                return Ok(());
+            }
+            // 1. Label refresh, per-port delta discipline: a relabeled or
+            // freshly frozen node announces only on the ports its
+            // `ann_mask` marked (boundary edges of the change) — its
+            // old-fragment neighbors relabeled with it and inferred the
+            // new view for free. Level 0 is silent by construction
+            // (fragment ids are node ids, already in every port view),
+            // and a globally silent refresh skips the phase.
+            let inputs: Vec<Vec<Option<FragMsg>>> = self
+                .mems
+                .iter()
+                .map(|m| {
+                    let cur = FragMsg {
+                        frag: m.frag,
+                        frozen: m.frozen,
+                    };
+                    m.ann_mask.iter().map(|&a| a.then_some(cur)).collect()
+                })
+                .collect();
+            if inputs.iter().any(|i| i.iter().any(Option::is_some)) {
+                let name = format!("mstA.l{level}.exch");
+                let out = self.net.run(&name, &PortDeltaExchange::new(), inputs)?;
+                for (m, o) in self.mems.iter_mut().zip(out.outputs) {
+                    m.ann_mask.iter_mut().for_each(|a| *a = false);
+                    for (p, got) in o.into_iter().enumerate() {
+                        if let Some(f) = got {
+                            m.port_frag[p] = f.frag;
+                            m.port_frozen[p] = f.frozen;
+                        }
+                    }
+                }
+            }
+            // 2. Fused candidate/decision pass over the unfrozen
+            // fragment trees.
+            let maxdepth = self
+                .mems
+                .iter()
+                .filter(|m| !m.frozen)
+                .map(|m| m.depth)
+                .max()
+                .unwrap_or(0);
+            let inputs: Vec<CdInput> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    let local = if m.frozen {
+                        None
+                    } else {
+                        self.local_cand(v, m.frag, &m.port_frag)
+                            .map(|(p, c)| OptCand {
+                                cand: c,
+                                target_frag: m.port_frag[p.index()],
+                                target_frozen: m.port_frozen[p.index()],
+                            })
+                    };
+                    CdInput {
+                        tree: m.ftree(),
+                        depth: m.depth,
+                        maxdepth,
+                        frag: m.frag,
+                        cap,
+                        frozen: m.frozen,
+                        local,
+                        purge: m.cd_purge,
+                        sent: m.cd_sent,
+                        children: m.cd_children.clone(),
+                    }
+                })
+                .collect();
+            let name = format!("mstA.l{level}.cd");
+            let out = self.net.run(&name, &CandDec, inputs)?;
+            let mut decs: Vec<Option<DecMsg>> = Vec::with_capacity(self.n);
+            let mut any_hook = false;
+            for (v, o) in out.outputs.into_iter().enumerate() {
+                let m = &mut self.mems[v];
+                decs.push(o.dec);
+                m.cd_sent = o.sent;
+                m.cd_children = o.children;
+                m.cd_purge = false;
+                if let Some(d) = o.dec {
+                    any_hook |= d.hook_edge.is_some();
+                    if d.frozen && !m.frozen {
+                        m.frozen = true;
+                        // Fragment-internal neighbors froze with us (same
+                        // broadcast); boundary neighbors hear it at the
+                        // next refresh — unless they are frozen too (they
+                        // never consult their phase-A views again; mstB's
+                        // full i0 refresh picks them up) or the edge has
+                        // no packing weight (it can never be a candidate
+                        // of either side).
+                        for p in 0..m.port_frag.len() {
+                            if m.port_frag[p] == m.frag {
+                                m.port_frozen[p] = true;
+                            } else if !m.port_frozen[p] && m.pack_w[p] > 0 {
+                                m.ann_mask[p] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_hook {
+                continue;
+            }
+            // 3. Hook handshake + re-root floods. Every fragment that is
+            // not itself hooking accepts — deterministic mating admits
+            // no 2-cycles, so no coin filter is needed.
+            let inputs: Vec<HookInput2> = (0..self.n)
+                .map(|v| {
+                    let m = &self.mems[v];
+                    let hook_edge = decs[v].and_then(|d| d.hook_edge);
+                    let role = match hook_edge {
+                        Some(e) => match m.port_of_edge(e) {
+                            Some(p) if m.port_frag[p.index()] != m.frag => HookRole::Connector {
+                                port: p,
+                                target_frag: m.port_frag[p.index()],
+                            },
+                            _ => HookRole::Await,
+                        },
+                        None => HookRole::Passive,
+                    };
+                    HookInput2 {
+                        tree_ports: m.tree_ports.iter().copied().collect(),
+                        role,
+                        eligible: hook_edge.is_none(),
+                        frozen: m.frozen,
+                        depth: m.depth,
+                    }
+                })
+                .collect();
+            let name = format!("mstA.l{level}.hook");
+            let out = self.net.run(&name, &FragHook2, inputs)?;
+            for (m, h) in self.mems.iter_mut().zip(out.outputs) {
+                if let Some((f, fz)) = h.new_frag {
+                    let old = m.frag;
+                    m.frag = f;
+                    m.frozen = fz;
+                    // Only nodes whose parent flipped (the old-root →
+                    // connector path of the re-root) have a restructured
+                    // subtree; off-path members keep their child caches
+                    // and stay silent next level unless their aggregate
+                    // really changed.
+                    if m.parent != h.new_parent {
+                        m.cd_purge = true;
+                    }
+                    m.parent = h.new_parent;
+                    if let Some(p) = h.new_parent {
+                        m.tree_ports.insert(p);
+                    }
+                    m.depth = h.new_depth.expect("re-root floods carry a depth");
+                    // Neighbors in the old fragment relabeled with us —
+                    // their view of this node updates by the same local
+                    // inference we apply to our view of them. Everyone
+                    // else gets an announcement next level, with the same
+                    // two exceptions as the freeze announcement: frozen
+                    // neighbors and zero-packing-weight edges never read
+                    // this view again.
+                    for p in 0..m.port_frag.len() {
+                        if m.port_frag[p] == old {
+                            m.port_frag[p] = f;
+                            m.port_frozen[p] = fz;
+                            m.ann_mask[p] = false;
+                        } else {
+                            m.ann_mask[p] = !m.port_frozen[p] && m.pack_w[p] > 0;
+                        }
+                    }
+                }
+                for p in h.accepted {
+                    m.tree_ports.insert(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The legacy phase A (the parity oracle): full label
+    /// delta-exchange, counting convergecast + separate decision
+    /// broadcast, shared-coin mating.
     ///
     /// Frozen fragments sit out the candidate/decision sub-phases (their
     /// members halt instantly on singleton forest inputs), so a level's
     /// cost is bounded by the *unfrozen* fragment diameter — below the
     /// cap by definition — plus the hook handshake.
-    fn mst_phase_a(&mut self) -> Result<(), MinCutError> {
+    fn mst_phase_a_legacy(&mut self) -> Result<(), MinCutError> {
         let cap = self.mst.effective_cap(self.n);
         for level in 0..self.mst.max_levels {
             let frags: BTreeSet<u32> = self.mems.iter().map(|m| m.frag).collect();
@@ -1300,11 +1536,26 @@ fn drive_packing(
     let mut best_node: Option<NodeId> = None;
     let mut trees_to_best = 0usize;
     let mut packed = 0usize;
+    let mut tree_edges: Vec<Vec<graphs::EdgeId>> = Vec::new();
     while packed < opts.target.target(n, best_value) {
         pl.reset_tree();
         pl.mst_phase_a()?;
         let reports = pl.mst_phase_b()?;
         pl.orient(reports)?;
+        // Snapshot the finished tree's edge set (orientation installs
+        // the inter-fragment links and re-roots the fragments, so only
+        // now does every node but the leader hold its global-parent
+        // edge).
+        let mut edges: Vec<graphs::EdgeId> = pl
+            .mems
+            .iter()
+            .filter_map(|m| {
+                m.t_parent()
+                    .map(|p| graphs::EdgeId::new(m.edge_ids[p.index()]))
+            })
+            .collect();
+        edges.sort_unstable();
+        tree_edges.push(edges);
         let (minc, argmin) = pl.cut_stage()?;
         packed += 1;
         let improved = minc < best_value;
@@ -1333,6 +1584,7 @@ fn drive_packing(
         rounds: pl.net.ledger().total_rounds(),
         messages: pl.net.ledger().total_messages(),
         ledger: pl.net.ledger().clone(),
+        tree_edges,
     })
 }
 

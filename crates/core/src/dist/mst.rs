@@ -33,6 +33,23 @@ use congest::message::TAG_BITS;
 use congest::primitives::grouped_min::KeyedItem;
 use congest::{value_bits, Algorithm, FinishResult, Message, NodeCtx, Outbox, Port, Step};
 
+/// Which phase-A engine [`crate::dist::driver`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MstAMode {
+    /// The PR 1–7 protocol: per-level full label delta-exchange, counting
+    /// convergecast (`.cand`), separate decision broadcast (`.dec`), and
+    /// shared-coin heads/tails mating. Kept as the parity oracle.
+    Legacy,
+    /// The fused protocol: per-port boundary-only label exchange with
+    /// local relabel inference, one up-then-down `.cd` pass with
+    /// depth-scheduled delta-convergecast (silence = unchanged, silence
+    /// down = no hook), frozen fragments out of the loop entirely, and
+    /// deterministic lowest-differing-bit fragment mating (no coins).
+    /// Same outputs, a fraction of the messages. See `docs/mst.md`.
+    #[default]
+    Optimized,
+}
+
 /// Configuration of the distributed MST stage.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MstConfig {
@@ -45,8 +62,11 @@ pub struct MstConfig {
     /// fragments still small after `max_levels` are simply handed to
     /// phase B, which remains correct).
     pub max_levels: usize,
-    /// Seed of the deterministic shared fragment coins.
+    /// Seed of the deterministic shared fragment coins (legacy mating
+    /// only; the optimized mode is coin-free).
     pub seed: u64,
+    /// Which phase-A engine to run.
+    pub mode: MstAMode,
 }
 
 impl Default for MstConfig {
@@ -55,6 +75,7 @@ impl Default for MstConfig {
             cap: None,
             max_levels: 96,
             seed: 0x4d53_5431,
+            mode: MstAMode::default(),
         }
     }
 }
@@ -72,13 +93,40 @@ impl MstConfig {
     /// heads (accepts hooks), `false` = tails (tries to hook). Every
     /// node can evaluate any fragment's coin locally — the coins are
     /// public randomness derived from the seed, which is the standard
-    /// shared-coin assumption.
+    /// shared-coin assumption. Legacy mating only.
     pub fn heads(&self, frag: u32, level: usize) -> bool {
         crate::seq::sampling::splitmix64(
             self.seed ^ (level as u64).wrapping_mul(0x9E37_79B9) ^ frag as u64,
         ) & 1
             == 0
     }
+}
+
+/// The optimized mode's deterministic mating rule — a one-shot
+/// Cole–Vishkin-style symmetry breaker on the fragment choice graph.
+/// Fragment `frag`, whose minimum outgoing edge leads to (unfrozen)
+/// fragment `target`, hooks along it iff `frag`'s bit is `0` at the
+/// *lowest differing bit position* of the two ids.
+///
+/// Two properties replace the coin argument:
+///
+/// * **No 2-cycles.** For any unordered pair `{F, T}` the rule fires in
+///   exactly one direction (the differing bit is `0` on exactly one
+///   side), so two fragments that choose each other — in particular the
+///   two endpoints of a GHS *core* edge — never both hook: one hooks,
+///   the other is not hooking and therefore accepts. Hook chains have
+///   length one, exactly the invariant the coins bought, but now on
+///   *every* level instead of in expectation.
+/// * **Progress.** In each choice-graph component the minimum-key edge
+///   is the minimum outgoing edge of *both* endpoints (keys are a total
+///   order), and by the point above exactly one endpoint hooks along it
+///   and the other accepts — every component merges at least one pair
+///   per level, so phase A still finishes in `O(log n)` levels,
+///   deterministically.
+pub fn hooks_toward(frag: u32, target: u32) -> bool {
+    debug_assert_ne!(frag, target, "choice edges join distinct fragments");
+    let i = (frag ^ target).trailing_zeros();
+    (frag >> i) & 1 == 0
 }
 
 // ---------------------------------------------------------------------------
@@ -390,6 +438,484 @@ impl Algorithm for FragHook {
     }
 
     fn finish(&self, s: HookState, _ctx: &NodeCtx<'_>) -> FinishResult<HookOutput> {
+        Ok(s.out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimized phase A: fused cand/dec round-trip (`mstA.*.cd`)
+// ---------------------------------------------------------------------------
+
+/// The optimized phase-A candidate: the edge's packing key plus the
+/// fragment across it — the root needs the target's *id* to evaluate
+/// [`hooks_toward`] and its frozen state for the unconditional-hook rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptCand {
+    /// The candidate edge's key fields.
+    pub cand: Cand,
+    /// Fragment id across the edge.
+    pub target_frag: u32,
+    /// The fragment across the edge is frozen.
+    pub target_frozen: bool,
+}
+
+/// The better (smaller-key) of two optional optimized candidates.
+pub fn better_opt(a: Option<OptCand>, b: Option<OptCand>) -> Option<OptCand> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.cand.key() <= y.cand.key() { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The subtree aggregate of the fused pass: size plus best outgoing
+/// candidate. Unlike [`CandAgg`] this is a *wire* type (the `.cd` pass
+/// does its own delta-scheduled aggregation instead of going through the
+/// counting [`congest::primitives::Convergecast`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptAgg {
+    /// Nodes in the subtree.
+    pub size: u64,
+    /// Best outgoing edge in the subtree, if any.
+    pub cand: Option<OptCand>,
+}
+
+/// Messages of [`CandDec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CdMsg {
+    /// Subtree aggregate, child → parent (only when changed).
+    Up(OptAgg),
+    /// Fragment decision, parent → child (only when hooking or freezing).
+    Dec(DecMsg),
+}
+
+impl Message for CdMsg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + match self {
+                CdMsg::Up(a) => {
+                    value_bits(a.size)
+                        + 1
+                        + a.cand
+                            .map_or(0, |c| c.cand.bits() + value_bits(c.target_frag as u64) + 1)
+                }
+                CdMsg::Dec(d) => 2 + d.hook_edge.map_or(0, |e| value_bits(e as u64)),
+            }
+    }
+}
+
+/// Input of [`CandDec`] for one node. The caches (`sent`, `children`)
+/// persist across levels in the driver's `NodeMem` — they are what makes
+/// the convergecast a *delta*: a quiescent subtree stays silent.
+#[derive(Clone, Debug)]
+pub struct CdInput {
+    /// Fragment-tree view (parent + children ports).
+    pub tree: congest::TreeInfo,
+    /// This node's depth in its fragment tree (maintained by the hook
+    /// phase; roots are 0).
+    pub depth: u32,
+    /// Maximum unfrozen-fragment depth network-wide this level — the
+    /// shared schedule bound (driver control plane, see `docs/mst.md`).
+    pub maxdepth: u32,
+    /// This node's fragment id.
+    pub frag: u32,
+    /// Phase-A size cap.
+    pub cap: u64,
+    /// Frozen fragments sit the pass out entirely (level skip).
+    pub frozen: bool,
+    /// This node's best local outgoing candidate.
+    pub local: Option<OptCand>,
+    /// This node's tree links flipped since the last level (re-root
+    /// path): send unconditionally so the (possibly new) parent's cache
+    /// entry is refreshed.
+    pub purge: bool,
+    /// The aggregate last sent up (`None` before the first send).
+    pub sent: Option<OptAgg>,
+    /// Last aggregate received per port (children caches).
+    pub children: Vec<Option<OptAgg>>,
+}
+
+/// Output of [`CandDec`] for one node.
+#[derive(Clone, Debug, Default)]
+pub struct CdOutput {
+    /// The decision this node learned: at a root, its own (if it decided
+    /// to act); elsewhere, the broadcast received. `None` = the fragment
+    /// neither hooks nor freezes this level (the silent default).
+    pub dec: Option<DecMsg>,
+    /// Updated `sent` cache, to persist in `NodeMem`.
+    pub sent: Option<OptAgg>,
+    /// Updated children caches, to persist in `NodeMem`.
+    pub children: Vec<Option<OptAgg>>,
+}
+
+/// The fused cand/dec round-trip (`mstA.l*.cd`): one up-then-down pass
+/// over every unfrozen fragment tree.
+///
+/// **Up.** A node at depth `d` sends its subtree aggregate at round
+/// `maxdepth − d` — *iff* it differs from what it last sent (or the
+/// fragment was restructured). By that round all children (depth `d+1`,
+/// scheduled one round earlier) have spoken or stayed silent, and
+/// silence means "unchanged": the parent's cached copy is current. A
+/// fully quiescent subtree costs zero messages.
+///
+/// **Down.** The root's aggregate is complete at round `maxdepth`; it
+/// decides (freeze at the cap, else the [`hooks_toward`] mating rule on
+/// the best candidate) and broadcasts the decision — *only* if the
+/// fragment hooks or freezes. Members that hear nothing by round
+/// `maxdepth + depth` know the fragment stays put and halt: silence
+/// down is "no hook", and a fragment whose minimum outgoing edge went
+/// nowhere this level ends the pass with zero traffic in both
+/// directions.
+///
+/// Rounds: `maxdepth + depth` per node, ≤ `2·maxdepth` + 1 total —
+/// the same order as the counting convergecast plus broadcast it fuses,
+/// one phase instead of two.
+#[derive(Clone, Debug, Default)]
+pub struct CandDec;
+
+/// Node state for [`CandDec`].
+#[derive(Debug)]
+pub struct CdState {
+    input: CdInput,
+    dec: Option<DecMsg>,
+}
+
+impl CdState {
+    /// Own value + cached child aggregates. Every current child has a
+    /// live cache entry by this node's send slot: unchanged children
+    /// carried one over, restructured children were forced to speak.
+    fn compute(&self) -> OptAgg {
+        let mut agg = OptAgg {
+            size: 1,
+            cand: self.input.local,
+        };
+        for &p in &self.input.tree.children {
+            if let Some(c) = &self.input.children[p.index()] {
+                agg.size += c.size;
+                agg.cand = better_opt(agg.cand, c.cand);
+            }
+        }
+        agg
+    }
+
+    /// The root's per-fragment decision on its completed aggregate.
+    fn decide(&self, agg: OptAgg) -> Option<DecMsg> {
+        let frozen = agg.size >= self.input.cap;
+        let hook_edge = if frozen {
+            None
+        } else {
+            agg.cand
+                .filter(|c| c.target_frozen || hooks_toward(self.input.frag, c.target_frag))
+                .map(|c| c.cand.edge)
+        };
+        (frozen || hook_edge.is_some()).then_some(DecMsg { frozen, hook_edge })
+    }
+}
+
+impl Algorithm for CandDec {
+    type Input = CdInput;
+    type State = CdState;
+    type Msg = CdMsg;
+    type Output = CdOutput;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, input: CdInput) -> (CdState, Outbox<CdMsg>) {
+        let mut out = Outbox::new();
+        // A purged node force-sends (its parent is new, or its child set
+        // flipped) but keeps its caches: entries of *continuing* children
+        // are still in sync with their `sent`, and every freshly flipped
+        // child is itself purged and overwrites its entry this pass.
+        let mut s = CdState { input, dec: None };
+        if s.input.frozen {
+            return (s, out);
+        }
+        if s.input.tree.is_root() {
+            if s.input.maxdepth == 0 {
+                // Singleton fragment: the aggregate is complete at boot.
+                s.dec = s.decide(s.compute());
+                // A singleton has no children to broadcast to.
+            }
+        } else if s.input.depth == s.input.maxdepth {
+            // Deepest nodes send at slot 0, i.e. at boot.
+            let agg = s.compute();
+            if s.input.purge || s.input.sent != Some(agg) {
+                s.input.sent = Some(agg);
+                out.send(s.input.tree.parent.unwrap(), CdMsg::Up(agg));
+            }
+        }
+        (s, out)
+    }
+
+    fn round(&self, s: &mut CdState, ctx: &NodeCtx<'_>, inbox: &[(Port, CdMsg)]) -> Step<CdMsg> {
+        if s.input.frozen {
+            return Step::halt();
+        }
+        for (port, msg) in inbox {
+            match msg {
+                CdMsg::Up(agg) => s.input.children[port.index()] = Some(*agg),
+                CdMsg::Dec(d) => s.dec = Some(*d),
+            }
+        }
+        let mut out = Outbox::new();
+        let (depth, maxdepth) = (s.input.depth as u64, s.input.maxdepth as u64);
+        if s.input.tree.is_root() {
+            if ctx.round >= maxdepth {
+                if ctx.round == maxdepth {
+                    s.dec = s.decide(s.compute());
+                    if let Some(d) = s.dec {
+                        for &p in &s.input.tree.children {
+                            out.send(p, CdMsg::Dec(d));
+                        }
+                    }
+                }
+                return Step::Halt(out);
+            }
+        } else {
+            if ctx.round == maxdepth - depth {
+                let agg = s.compute();
+                if s.input.purge || s.input.sent != Some(agg) {
+                    s.input.sent = Some(agg);
+                    out.send(s.input.tree.parent.unwrap(), CdMsg::Up(agg));
+                }
+            }
+            if ctx.round >= maxdepth + depth {
+                if let Some(d) = s.dec {
+                    for &p in &s.input.tree.children {
+                        out.send(p, CdMsg::Dec(d));
+                    }
+                }
+                return Step::Halt(out);
+            }
+        }
+        Step::Continue(out)
+    }
+
+    fn finish(&self, s: CdState, _ctx: &NodeCtx<'_>) -> FinishResult<CdOutput> {
+        Ok(CdOutput {
+            dec: s.dec,
+            sent: s.input.sent,
+            children: s.input.children,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimized phase A: depth-carrying hook handshake (`mstA.*.hook`)
+// ---------------------------------------------------------------------------
+
+/// Input of [`FragHook2`] — [`HookInput`] plus this node's fragment-tree
+/// depth (so grants and re-root floods can maintain depths for the next
+/// level's `.cd` schedule).
+#[derive(Clone, Debug)]
+pub struct HookInput2 {
+    /// Current in-fragment tree ports (undirected set: parent + children).
+    pub tree_ports: Vec<Port>,
+    /// This node's role.
+    pub role: HookRole,
+    /// Whether this node's fragment accepts incoming hooks this level.
+    /// Optimized mating: *every* fragment that is not itself hooking
+    /// accepts (frozen included) — [`hooks_toward`] guarantees no
+    /// 2-cycles, so no coin filter is needed.
+    pub eligible: bool,
+    /// Whether this node's fragment is frozen (echoed in grants so the
+    /// absorbed fragment adopts the state).
+    pub frozen: bool,
+    /// This node's depth in its fragment tree.
+    pub depth: u32,
+}
+
+/// Output of [`FragHook2`]: [`HookOutput`] plus the node's new depth
+/// after a re-root.
+#[derive(Clone, Debug, Default)]
+pub struct HookOutput2 {
+    /// `Some((f, frozen))`: the fragment re-rooted, adopting fragment id
+    /// `f` and the target fragment's frozen state.
+    pub new_frag: Option<(u32, bool)>,
+    /// New parent port after a re-root (the hook port at the connector).
+    pub new_parent: Option<Port>,
+    /// Hook ports accepted from other fragments (new child tree edges).
+    pub accepted: Vec<Port>,
+    /// New fragment-tree depth after a re-root (`None`: unchanged).
+    pub new_depth: Option<u32>,
+}
+
+/// Messages of [`FragHook2`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hook2Msg {
+    /// "My fragment's mating rule chose this edge."
+    Request,
+    /// "Granted — adopt my fragment id." Carries the granting fragment's
+    /// frozen state and the acceptor's depth (the connector hangs one
+    /// below it).
+    Accept {
+        /// The granting fragment is already frozen.
+        frozen: bool,
+        /// The acceptor's fragment-tree depth.
+        depth: u32,
+    },
+    /// "Denied — my fragment is hooking elsewhere, try another level."
+    Reject,
+    /// Re-root flood: adopt fragment `frag`, parent = arrival port,
+    /// depth = `depth + 1`.
+    Reroot {
+        /// The adopted fragment id.
+        frag: u32,
+        /// The adopted fragment's frozen state.
+        frozen: bool,
+        /// The flooding sender's (new) depth.
+        depth: u32,
+    },
+    /// The hook was rejected: keep the old tree, stop waiting.
+    Keep,
+}
+
+impl Message for Hook2Msg {
+    fn bit_len(&self) -> usize {
+        TAG_BITS
+            + match self {
+                Hook2Msg::Accept { depth, .. } => 1 + value_bits(*depth as u64),
+                Hook2Msg::Reroot { frag, depth, .. } => {
+                    1 + value_bits(*frag as u64) + value_bits(*depth as u64)
+                }
+                _ => 0,
+            }
+    }
+}
+
+/// The optimized level's hook handshake: [`FragHook`] with deterministic
+/// mating and depth maintenance. Because [`hooks_toward`] admits no
+/// 2-cycles, the mutual (core-edge) special case of the legacy protocol
+/// cannot arise: on a core edge exactly one side is the connector and
+/// the other side accepts like any target. Rounds: `2 + fragment
+/// diameter`; all fragments in parallel.
+#[derive(Clone, Debug, Default)]
+pub struct FragHook2;
+
+/// Node state for [`FragHook2`].
+#[derive(Debug)]
+pub struct Hook2State {
+    input: HookInput2,
+    out: HookOutput2,
+}
+
+impl Algorithm for FragHook2 {
+    type Input = HookInput2;
+    type State = Hook2State;
+    type Msg = Hook2Msg;
+    type Output = HookOutput2;
+
+    fn boot(&self, _ctx: &NodeCtx<'_>, input: HookInput2) -> (Hook2State, Outbox<Hook2Msg>) {
+        let mut out = Outbox::new();
+        if let HookRole::Connector { port, .. } = input.role {
+            out.send(port, Hook2Msg::Request);
+        }
+        (
+            Hook2State {
+                input,
+                out: HookOutput2::default(),
+            },
+            out,
+        )
+    }
+
+    fn round(
+        &self,
+        s: &mut Hook2State,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(Port, Hook2Msg)],
+    ) -> Step<Hook2Msg> {
+        let mut out = Outbox::new();
+        let hook_port = match s.input.role {
+            HookRole::Connector { port, .. } => Some(port),
+            _ => None,
+        };
+        // Requests only ever arrive in round 1 (sent at boot). The mating
+        // rule fires in one direction per fragment pair, so a request can
+        // never arrive on the connector's own hook port.
+        for (port, msg) in inbox {
+            if matches!(msg, Hook2Msg::Request) {
+                debug_assert_ne!(
+                    Some(*port),
+                    hook_port,
+                    "deterministic mating admits no mutual hooks"
+                );
+                if s.input.eligible {
+                    s.out.accepted.push(*port);
+                    out.send(
+                        *port,
+                        Hook2Msg::Accept {
+                            frozen: s.input.frozen,
+                            depth: s.input.depth,
+                        },
+                    );
+                } else {
+                    out.send(*port, Hook2Msg::Reject);
+                }
+            }
+        }
+        match s.input.role.clone() {
+            HookRole::Passive => {
+                // Nothing else can reach a passive node after round 1.
+                return Step::Halt(out);
+            }
+            HookRole::Connector { port, target_frag } => {
+                let reply = inbox.iter().find_map(|(p, m)| {
+                    (*p == port && matches!(m, Hook2Msg::Accept { .. } | Hook2Msg::Reject))
+                        .then_some(*m)
+                });
+                if let Some(reply) = reply {
+                    let flood = if let Hook2Msg::Accept { frozen, depth } = reply {
+                        s.out.new_frag = Some((target_frag, frozen));
+                        s.out.new_parent = Some(port);
+                        s.out.new_depth = Some(depth + 1);
+                        Hook2Msg::Reroot {
+                            frag: target_frag,
+                            frozen,
+                            depth: depth + 1,
+                        }
+                    } else {
+                        Hook2Msg::Keep
+                    };
+                    for &p in &s.input.tree_ports {
+                        out.send(p, flood);
+                    }
+                    return Step::Halt(out);
+                }
+            }
+            HookRole::Await => {
+                let flood = inbox.iter().find_map(|(p, m)| {
+                    matches!(m, Hook2Msg::Reroot { .. } | Hook2Msg::Keep).then_some((*p, *m))
+                });
+                if let Some((from, msg)) = flood {
+                    let fwd = if let Hook2Msg::Reroot {
+                        frag,
+                        frozen,
+                        depth,
+                    } = msg
+                    {
+                        s.out.new_frag = Some((frag, frozen));
+                        s.out.new_parent = Some(from);
+                        s.out.new_depth = Some(depth + 1);
+                        Hook2Msg::Reroot {
+                            frag,
+                            frozen,
+                            depth: depth + 1,
+                        }
+                    } else {
+                        msg
+                    };
+                    for &p in &s.input.tree_ports {
+                        if p != from {
+                            out.send(p, fwd);
+                        }
+                    }
+                    return Step::Halt(out);
+                }
+            }
+        }
+        Step::Continue(out)
+    }
+
+    fn finish(&self, s: Hook2State, _ctx: &NodeCtx<'_>) -> FinishResult<HookOutput2> {
         Ok(s.out)
     }
 }

@@ -1,0 +1,134 @@
+//! Phase-A mode parity: the optimized `mstA` (frozen-level skip, fused
+//! cand/dec convergecast, deterministic fragment mating) is a pure
+//! message-complexity optimization — on every instance it must produce
+//! **the same trees and the same cut** as the legacy protocol, because
+//! both resolve MOE ties by the shared weight-then-edge-id order and
+//! the MST under a total edge order is unique.
+//!
+//! What is asserted per drawn instance:
+//!  - identical MST edge sets, tree by tree (`tree_edges`),
+//!  - identical λ, cut side, tree counts, and arg-min node,
+//!  - identical per-phase metrics for every *structure-independent*
+//!    phase stem (election, degree census, and the value-level cut
+//!    machinery `s5f`, `s5g`, `side`), plus identical rounds/messages
+//!    for `s3` (its message *count* is 2m by construction, but the
+//!    payloads are per-fragment Euler in-times, so its bit tally is
+//!    fragment-relative).
+//!
+//! Fragment-*dependent* stems (`mstA` itself, but also `mstB`, `orient`,
+//! `s2a`…`s5e`, `s4*`) are deliberately excluded from the ledger
+//! comparison: the two modes grow *different intermediate fragment
+//! decompositions* (deterministic mating hooks along different edges
+//! than the shared-coin heads/tails dance), so their per-level traffic
+//! differs even though the resulting tree — and everything computed
+//! from it — is identical. The suite proves exactly that boundary.
+
+use congest::PhaseMetrics;
+use mincut::dist::driver::{exact_mincut, DistMinCutResult, ExactConfig};
+use mincut::dist::mst::{MstAMode, MstConfig};
+use mincut::seq::tree_packing::{PackingConfig, PackingSize};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random recursive tree: node `v ≥ 1` attaches to a uniform earlier
+/// node. Exactly `n − 1` edges — phase A must hook every one of them.
+fn random_tree(n: usize, rng: &mut StdRng) -> graphs::WeightedGraph {
+    let edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|v| (rng.gen_range(0..v), v, 1)).collect();
+    graphs::WeightedGraph::from_edges(n, edges).expect("valid tree")
+}
+
+/// Phase stems whose traffic cannot depend on which fragment
+/// decomposition phase A moved through: the election and degree census
+/// run before any tree exists, and the `s5f`/`s5g`/`side` stages move
+/// cut *values* over the BFS tree — both identical across modes.
+const STRUCTURE_INDEPENDENT: [&str; 5] = ["leader_bfs", "init", "s5f", "s5g", "side"];
+
+fn run(g: &graphs::WeightedGraph, mode: MstAMode, trees: usize) -> DistMinCutResult {
+    let cfg = ExactConfig {
+        packing: PackingConfig {
+            size: PackingSize::Fixed(trees),
+            max_trees: trees,
+        },
+        mst: MstConfig {
+            mode,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    exact_mincut(g, &cfg).expect("pipeline runs")
+}
+
+fn stem_slice(r: &DistMinCutResult) -> Vec<&PhaseMetrics> {
+    r.ledger
+        .phases()
+        .iter()
+        .filter(|p| {
+            let stem = p.name.split('.').next().unwrap_or(&p.name);
+            STRUCTURE_INDEPENDENT.contains(&stem)
+        })
+        .collect()
+}
+
+fn assert_parity(tag: &str, g: &graphs::WeightedGraph, trees: usize) {
+    let legacy = run(g, MstAMode::Legacy, trees);
+    let opt = run(g, MstAMode::Optimized, trees);
+    assert_eq!(opt.tree_edges, legacy.tree_edges, "{tag}: MST edge sets");
+    assert_eq!(opt.cut.value, legacy.cut.value, "{tag}: lambda");
+    assert_eq!(opt.cut.side, legacy.cut.side, "{tag}: cut side");
+    assert_eq!(opt.trees_packed, legacy.trees_packed, "{tag}: trees");
+    assert_eq!(
+        opt.trees_to_best, legacy.trees_to_best,
+        "{tag}: trees_to_best"
+    );
+    assert_eq!(opt.best_node, legacy.best_node, "{tag}: best_node");
+    assert_eq!(
+        stem_slice(&opt),
+        stem_slice(&legacy),
+        "{tag}: structure-independent phase metrics"
+    );
+    // s3's shape is graph-determined (one round, a message per directed
+    // edge) even though its payload bits are fragment-relative.
+    let s3 = |r: &DistMinCutResult| -> Vec<(u64, u64)> {
+        r.ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name == "s3")
+            .map(|p| (p.rounds, p.messages))
+            .collect()
+    };
+    assert_eq!(s3(&opt), s3(&legacy), "{tag}: s3 rounds/messages");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random trees: phase A *is* the whole MST here — every edge must
+    /// be hooked, nothing is cut (and λ = 1 on any tree).
+    #[test]
+    fn parity_on_random_trees(n in 8usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        assert_parity(&format!("tree n={n} seed={seed}"), &g, 1);
+    }
+
+    /// Tori: the canonical benchmark family (vertex-transitive, every
+    /// level of fragment growth exercised, freezes guaranteed once
+    /// fragments reach the √n cap).
+    #[test]
+    fn parity_on_tori(rows in 4usize..8, cols in 4usize..8) {
+        let g = graphs::generators::torus2d(rows, cols).expect("torus");
+        assert_parity(&format!("torus{rows}x{cols}"), &g, 2);
+    }
+
+    /// Connected Erdős–Rényi graphs: irregular degrees, multi-edge-free
+    /// but unstructured — the adversarial case for the deterministic
+    /// mating rule (arbitrary fragment-id adjacencies).
+    #[test]
+    fn parity_on_er_graphs(n in 10usize..32, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = graphs::generators::erdos_renyi_connected(n, 0.2, &mut rng)
+            .expect("connected ER graph");
+        assert_parity(&format!("er n={n} seed={seed}"), &g, 2);
+    }
+}
