@@ -8,4 +8,10 @@ pub fn drive(net: &mut Network, ledger: &Ledger) {
     // registered, `mstA2` is not — the lint must catch the stem even
     // through the format! level interpolation.
     let _cd = format!("mstA2.l{level}.cd");
+    // Recovery stems: `census` is registered, the typo'd `cenzus` is
+    // not — caught through the epoch/pass interpolation like `mstA2`.
+    let _census = format!("cenzus.e{epoch}.r{pass}");
+    // Ledger scans must query registered stems too: `recover.` matches
+    // the recovery prefix, the typo'd `rezume.` matches nothing ever.
+    let _scan = ledger.rounds_matching("rezume.");
 }

@@ -28,7 +28,7 @@
 use congest::{ExecutorKind, MetricsLedger};
 use graphs::generators;
 use mincut::dist::driver::{exact_mincut, ExactConfig};
-use mincut::dist::{recover_mincut, RecoverConfig};
+use mincut::dist::{recover_mincut, RecoverConfig, Stage};
 use mincut::seq::tree_packing::{PackingConfig, PackingSize};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,6 +52,14 @@ struct Sample {
     recovery_rounds: u64,
     /// Messages spent on failed attempts + censuses.
     recovery_messages: u64,
+    /// Per-epoch recovery rounds (`recover.e{k}.` + `census.e{k}.`
+    /// sums); empty for crash-free rows.
+    wasted_rounds: Vec<u64>,
+    /// Per-epoch recovery messages, same split.
+    wasted_messages: Vec<u64>,
+    /// Deepest checkpoint the healed attempt resumed from (`None` on
+    /// crash-free rows and from-scratch recoveries).
+    resumed_from: Option<Stage>,
     ledger: MetricsLedger,
 }
 
@@ -105,6 +113,9 @@ fn run(
         crashed: Vec::new(),
         recovery_rounds: 0,
         recovery_messages: 0,
+        wasted_rounds: Vec::new(),
+        wasted_messages: Vec::new(),
+        resumed_from: None,
         ledger: r.ledger,
     }
 }
@@ -141,6 +152,9 @@ fn run_chaos(instance: &str, g: &graphs::WeightedGraph, trees: usize) -> Sample 
         crashed: r.dead.iter().map(|v| v.index()).collect(),
         recovery_rounds: r.recovery_rounds,
         recovery_messages: r.recovery_messages,
+        wasted_rounds: r.wasted_rounds,
+        wasted_messages: r.wasted_messages,
+        resumed_from: r.resumed_from,
         ledger: r.ledger,
     }
 }
@@ -179,14 +193,31 @@ fn main() {
     // tracked curve for "what does asynchrony cost the paper's bound".
     // The crash-plan columns (`crashed`, `recovery_rounds`,
     // `recovery_msg_share`) are zero everywhere except the chaos rows,
-    // where they track what healing the leader kill costs.
+    // where they track what healing the leader kill costs. The
+    // checkpoint columns split that bill per epoch (`wasted_rounds` /
+    // `wasted_messages`, the `recover.e{k}.` + `census.e{k}.` sums) and
+    // name the deepest restored stage (`resumed_from`: `"Bfs"`,
+    // `"Packed(k)"`, or `null` for from-scratch / crash-free) — the
+    // measurable savings of checkpointed resume over PR 6-style
+    // restart-from-zero recovery.
     let mut json = String::from("{\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         let crashed: Vec<String> = s.crashed.iter().map(|v| v.to_string()).collect();
+        let per_epoch = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let resumed = match s.resumed_from {
+            None => "null".to_string(),
+            Some(Stage::Bfs) => "\"Bfs\"".to_string(),
+            Some(Stage::Packed(k)) => format!("\"Packed({k})\""),
+        };
         writeln!(
             json,
-            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"crashed\": [{}], \"recovery_rounds\": {}, \"recovery_msg_share\": {:.3}, \"wall_ms\": {:.3}}}{sep}",
+            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"crashed\": [{}], \"recovery_rounds\": {}, \"recovery_msg_share\": {:.3}, \"wasted_rounds\": [{}], \"wasted_messages\": [{}], \"resumed_from\": {}, \"wall_ms\": {:.3}}}{sep}",
             s.instance,
             s.executor,
             s.threads,
@@ -199,6 +230,9 @@ fn main() {
             crashed.join(", "),
             s.recovery_rounds,
             s.recovery_messages as f64 / s.messages.max(1) as f64,
+            per_epoch(&s.wasted_rounds),
+            per_epoch(&s.wasted_messages),
+            resumed,
             s.wall_ms
         )
         .expect("write to string");
@@ -277,13 +311,15 @@ fn main() {
     // What healing costs: the chaos rows' crash + recovery accounting.
     for s in samples.iter().filter(|s| s.executor == "chaos") {
         println!(
-            "chaos {}: crashed {:?}, cut {}, recovery {} rounds / {:.1}% of {} msgs",
+            "chaos {}: crashed {:?}, cut {}, recovery {} rounds / {:.1}% of {} msgs, per-epoch {:?}, resumed_from {:?}",
             s.instance,
             s.crashed,
             s.cut,
             s.recovery_rounds,
             100.0 * s.recovery_messages as f64 / s.messages.max(1) as f64,
             s.messages,
+            s.wasted_rounds,
+            s.resumed_from,
         );
     }
     println!("wrote BENCH_rounds.json ({} samples)", samples.len());

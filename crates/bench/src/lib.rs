@@ -19,6 +19,9 @@ pub const SMOKE_FAULTS: congest::sim::FaultPlan = congest::sim::FaultPlan {
     resend_after: 4,
     max_attempts: 64,
     crashes: Vec::new(),
+    parked: Vec::new(),
+    partitions: Vec::new(),
+    corrupt_per_mille: 0,
     suspect_patience: congest::sim::DEFAULT_SUSPECT_PATIENCE,
     on_suspect: congest::sim::SuspicionPolicy::Abort,
 };

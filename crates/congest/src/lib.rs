@@ -77,4 +77,4 @@ pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SerialExecutor
 pub use message::{id_bits, value_bits, Message};
 pub use metrics::{MetricsLedger, PhaseGroup, PhaseMetrics, SimPhaseStats};
 pub use node::{NeighborInfo, NodeCtx, Port, TreeInfo};
-pub use sim::{CrashEvent, FaultPlan, FaultyExecutor, SuspicionPolicy};
+pub use sim::{CrashEvent, FaultPlan, FaultyExecutor, PartitionEvent, SuspicionPolicy};

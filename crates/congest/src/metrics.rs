@@ -61,6 +61,15 @@ pub struct SimPhaseStats {
     /// accurate*, not perfect: these are revoked when the suspect's next
     /// frame arrives, but they are counted here.
     pub false_suspicions: u64,
+    /// Frames silenced by an active partition window (sent into a cut
+    /// edge while the window was open). Always 0 under partition-free
+    /// plans.
+    pub partitioned: u64,
+    /// Frames the receiver rejected because the per-phase transport
+    /// checksum did not cover the adversary's bit-flip. Rejected frames
+    /// earn no ack and no keepalive credit; retransmission repairs the
+    /// loss. Always 0 under corruption-free plans.
+    pub corrupted: u64,
 }
 
 impl SimPhaseStats {
@@ -74,6 +83,8 @@ impl SimPhaseStats {
         self.duplicated += other.duplicated;
         self.suspicions += other.suspicions;
         self.false_suspicions += other.false_suspicions;
+        self.partitioned += other.partitioned;
+        self.corrupted += other.corrupted;
     }
 }
 
@@ -245,6 +256,16 @@ impl MetricsLedger {
         self.phases.iter().map(|p| p.sim.false_suspicions).sum()
     }
 
+    /// Total frames silenced by partition windows across phases.
+    pub fn total_partitioned(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.partitioned).sum()
+    }
+
+    /// Total frames rejected by the transport checksum across phases.
+    pub fn total_corrupted(&self) -> u64 {
+        self.phases.iter().map(|p| p.sim.corrupted).sum()
+    }
+
     /// Aggregates the recorded phases by label *stem* — the phase name up
     /// to the first `'.'` (`"mstA.l3.cand"` → `"mstA"`, `"leader_bfs"` →
     /// `"leader_bfs"`) — in order of first appearance. This is the
@@ -401,6 +422,8 @@ mod tests {
             duplicated: 1,
             suspicions: 2,
             false_suspicions: 1,
+            partitioned: 6,
+            corrupted: 2,
         };
         let mut l = MetricsLedger::new();
         l.push(faulty);
@@ -420,6 +443,8 @@ mod tests {
         assert_eq!(l.total_retransmitted(), 4);
         assert_eq!(l.total_suspicions(), 2);
         assert_eq!(l.total_false_suspicions(), 1);
+        assert_eq!(l.total_partitioned(), 6);
+        assert_eq!(l.total_corrupted(), 2);
         let f = l.sim_overhead_factor();
         assert!((f - 56.0 / 26.0).abs() < 1e-9, "factor = {f}");
         assert_eq!(MetricsLedger::new().sim_overhead_factor(), 1.0);

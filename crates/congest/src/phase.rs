@@ -63,10 +63,15 @@ pub const REGISTERED_STEMS: &[&str] = &[
     "s5g",
     // Cut-side flood + broadcast.
     "side",
-    // The self-healing driver's per-epoch prefix (aborted attempts are
-    // re-ledgered under `recover.e{epoch}.…`, the census runs as
-    // `recover.e{epoch}.census`).
+    // The self-healing driver's per-epoch prefix: aborted attempts are
+    // re-ledgered under `recover.e{epoch}.…`, and checkpointed resumes
+    // emit `recover.e{epoch}.resume.*` validation phases.
     "recover",
+    // The recovery driver's census machinery: per-epoch failure-detector
+    // passes (`census.e{epoch}.r{pass}`, iterated to a fixpoint when a
+    // node can die mid-census) and the rejoin handshake
+    // (`census.e{epoch}.join`).
+    "census",
 ];
 
 /// Is `segment` one grammar segment: `[A-Za-z][A-Za-z0-9_]*`, at most
@@ -115,7 +120,9 @@ mod tests {
             "s5e.delta",
             "side.flood",
             "recover.e2.mstA.l0.hook",
-            "recover.e1.census",
+            "recover.e1.resume.bfs",
+            "census.e1.r1",
+            "census.e2.join",
         ] {
             assert!(is_valid_name(name), "{name} must parse");
             assert!(is_registered(name), "{name} must be registered");

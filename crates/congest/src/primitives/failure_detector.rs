@@ -112,6 +112,84 @@ impl Algorithm for FailureDetector {
     }
 }
 
+/// The rejoin handshake: nodes re-admitted at an epoch boundary catch
+/// up the session coordinates (epoch tag, leader — packed into one
+/// small word by the driver) from any live veteran.
+///
+/// Veterans boot with `Some(tag)` and announce it on every port once;
+/// a rejoiner boots with `None`, adopts the first tag that reaches it,
+/// and forwards it once — an adopting flood, so chains of rejoiners
+/// catch up in distance-to-nearest-veteran rounds. The driver sizes
+/// `rounds` to an eccentricity bound of the re-admitted graph and then
+/// asserts every report adopted the same tag: that assertion *is* the
+/// re-admission — a rejoiner the flood missed would surface as `None`.
+#[derive(Clone, Debug)]
+pub struct JoinEcho {
+    /// Virtual rounds the handshake floods for (an eccentricity bound
+    /// of the graph, plus slack; min 1).
+    rounds: u64,
+}
+
+impl JoinEcho {
+    /// A handshake phase flooding for `rounds` virtual rounds.
+    pub fn new(rounds: u64) -> Self {
+        JoinEcho {
+            rounds: rounds.max(1),
+        }
+    }
+}
+
+/// Per-node handshake state: the session tag held (veterans from boot,
+/// rejoiners once adopted) and whether it still needs forwarding.
+#[derive(Clone, Debug, Default)]
+pub struct JoinState {
+    tag: Option<u64>,
+    forward: bool,
+}
+
+impl Algorithm for JoinEcho {
+    type Input = Option<u64>;
+    type State = JoinState;
+    type Msg = u64;
+    type Output = Option<u64>;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, input: Option<u64>) -> (JoinState, Outbox<u64>) {
+        let mut o = Outbox::new();
+        if let Some(tag) = input {
+            o.send_all(ctx.ports(), tag);
+        }
+        (
+            JoinState {
+                tag: input,
+                forward: false,
+            },
+            o,
+        )
+    }
+
+    fn round(&self, s: &mut JoinState, ctx: &NodeCtx<'_>, inbox: &[(Port, u64)]) -> Step<u64> {
+        if s.tag.is_none() {
+            if let Some((_, tag)) = inbox.first() {
+                s.tag = Some(*tag);
+                s.forward = true;
+            }
+        }
+        if ctx.round >= self.rounds {
+            return Step::halt();
+        }
+        let mut o = Outbox::new();
+        if s.forward {
+            s.forward = false;
+            o.send_all(ctx.ports(), s.tag.expect("forwarding an adopted tag"));
+        }
+        Step::Continue(o)
+    }
+
+    fn finish(&self, s: JoinState, _ctx: &NodeCtx<'_>) -> FinishResult<Option<u64>> {
+        Ok(s.tag)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +255,26 @@ mod tests {
         suspected.sort_unstable();
         suspected.dedup();
         assert_eq!(suspected, vec![5, 6], "exactly the dead, nobody else");
+    }
+
+    #[test]
+    fn join_echo_floods_the_tag_to_every_rejoiner() {
+        // A path: veteran at one end, a chain of four rejoiners after
+        // it — the worst case for the adopting flood.
+        let g = graphs::generators::path(5).unwrap();
+        let inputs: Vec<Option<u64>> = vec![Some(42), None, None, None, None];
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let out = net
+            .run("join_smoke", &JoinEcho::new(6), inputs)
+            .expect("handshake completes");
+        assert!(out.outputs.iter().all(|t| *t == Some(42)));
+        // An undersized flood misses the far end — the driver-side
+        // assertion that catches a sizing bug instead of hiding it.
+        let inputs: Vec<Option<u64>> = vec![Some(42), None, None, None, None];
+        let mut net = Network::new(&g, NetworkConfig::default()).unwrap();
+        let out = net
+            .run("join_smoke", &JoinEcho::new(2), inputs)
+            .expect("handshake completes");
+        assert_eq!(out.outputs[4], None, "tag cannot cross 4 hops in 2 rounds");
     }
 }

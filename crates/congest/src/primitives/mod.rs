@@ -50,7 +50,7 @@ pub use broadcast::{Broadcast, BroadcastItems};
 pub use convergecast::{Aggregate, Convergecast, MaxU64, MinU64, SumU64};
 pub use exchange::DeltaExchange;
 pub use exchange::{EdgeListExchange, NeighborExchange, PortDeltaExchange};
-pub use failure_detector::{FailureDetector, FdReport};
+pub use failure_detector::{FailureDetector, FdReport, JoinEcho};
 pub use grouped::{GroupedSum, KeyedSum, SumMonoid};
 pub use grouped_min::{BestMonoid, GroupedBest, KeyedItem, KeyedMin};
 pub use leader_bfs::{Election, LeaderBfs, LeaderBfsOutput};

@@ -195,6 +195,43 @@ struct Frame<M> {
     /// only while *their* sender is unconfirmed, so the exchange
     /// converges instead of ping-ponging.
     needs_echo: bool,
+    /// Per-phase transport checksum over the control plane (sequence
+    /// numbers, ack, safety fields — see [`frame_checksum`]). Computed
+    /// at send, verified first thing at arrival: a mismatch discards
+    /// the frame whole (no ack, no keepalive credit) and meters
+    /// `sim.corrupted`. The adversary's corruption species flips one
+    /// seeded bit in a covered field, so every corrupt frame is caught
+    /// and repaired by retransmission.
+    crc: u64,
+}
+
+/// The per-phase checksum of a frame's control plane: a splitmix64
+/// chain over the phase salt and every field a corruption flip may
+/// touch. Message payloads expose only `bit_len`, so payload bits are
+/// not coverable — the corruption adversary therefore targets exactly
+/// the covered control fields, and coverage is honest: nothing the
+/// adversary may flip escapes the checksum.
+fn frame_checksum<M>(phase_salt: u64, f: &Frame<M>) -> u64 {
+    let mut h = phase_salt;
+    for word in [
+        f.data.as_ref().map_or(0, |dt| dt.seq),
+        f.data.as_ref().map_or(0, |dt| dt.round.wrapping_add(1)),
+        f.ack_seq,
+        f.safe_upto,
+        f.safe_seen,
+        u64::from(f.needs_echo),
+    ] {
+        h = splitmix64(h ^ word);
+    }
+    h
+}
+
+/// The splitmix64 output mixer (same constants as the plan's coins).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// One node's buffered future inboxes: virtual round → (port, payload).
@@ -237,11 +274,26 @@ struct Machine<'a, A: Algorithm> {
     /// Per receive slot: the receiver currently suspects the sender of
     /// having crashed (advisory, cleared by the next arrival).
     suspected: Vec<bool>,
-    /// `plan.has_crashes()` — gates keepalives and the detector so
-    /// crash-free plans stay bit-identical to PR 5 behavior.
+    /// `plan.has_crashes() || plan.has_partitions()` — gates keepalives
+    /// and the detector so crash- and partition-free plans stay
+    /// bit-identical to PR 5 behavior. Partitions arm the detector too:
+    /// a window outlasting the suspicion budget must be *suspectable*,
+    /// and the post-heal rehabilitation is the observable that tells
+    /// "partitioned" from "dead".
     detect: bool,
     /// Cached [`FaultPlan::suspect_after`] window.
     suspect_after: u64,
+    /// Per directed slot, a bitmask of the plan's partition events
+    /// whose cut set contains the slot's undirected edge (empty vec
+    /// when the plan schedules no partitions — the hot path stays
+    /// untouched). At most 64 windows per plan.
+    part_mask: Vec<u64>,
+    /// Per partition event: the tick its window opened (`None` until
+    /// the session clock reaches the event's onset round).
+    part_onset: Vec<Option<u64>>,
+    /// Salt of the per-phase frame checksum (a hash of the phase name,
+    /// so identical control fields in different phases checksum apart).
+    phase_salt: u64,
 }
 
 impl<'a, A: Algorithm> Machine<'a, A> {
@@ -252,6 +304,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         for v in 0..n {
             slot_owner[spec.slot_base[v]..spec.slot_base[v + 1]].fill(v as u32);
         }
+        let part_mask = Self::partition_masks(plan, spec, &slot_owner);
         Machine {
             plan,
             spec,
@@ -301,9 +354,80 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             crashed: vec![false; n],
             last_heard: vec![0u64; total],
             suspected: vec![false; total],
-            detect: plan.has_crashes(),
+            detect: plan.has_crashes() || plan.has_partitions(),
             suspect_after: plan.suspect_after(),
+            part_mask,
+            part_onset: vec![None; plan.partitions.len()],
+            phase_salt: spec
+                .name
+                .bytes()
+                .fold(plan.seed, |h, b| splitmix64(h ^ u64::from(b))),
         }
+    }
+
+    /// Per-slot membership bitmasks of the plan's partition windows
+    /// (empty when none are scheduled). Slot `d` delivers the frames
+    /// some sender writes toward `slot_owner[d]`; the undirected edge
+    /// behind it is the (sender, receiver) pair, normalized.
+    fn partition_masks(plan: &FaultPlan, spec: &PhaseSpec<'_>, slot_owner: &[u32]) -> Vec<u64> {
+        if plan.partitions.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            plan.partitions.len() <= 64,
+            "at most 64 partition windows per plan"
+        );
+        let cut_sets: Vec<std::collections::BTreeSet<(u32, u32)>> = plan
+            .partitions
+            .iter()
+            .map(|w| {
+                w.cut_edges
+                    .iter()
+                    .map(|&(a, b)| (a.min(b), a.max(b)))
+                    .collect()
+            })
+            .collect();
+        (0..slot_owner.len())
+            .map(|d| {
+                let v = slot_owner[d];
+                let u = slot_owner[spec.write_slot[d]];
+                let key = (u.min(v), u.max(v));
+                cut_sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, set)| set.contains(&key))
+                    .fold(0u64, |m, (i, _)| m | 1 << i)
+            })
+            .collect()
+    }
+
+    /// Opens every partition window whose onset round the session clock
+    /// has reached (called once per tick while partitions are
+    /// scheduled). Onset is measured on the same global virtual clock
+    /// as crashes; the heal deadline is physical, `heal_at` ticks from
+    /// the opening tick.
+    fn open_partitions(&mut self, tick: u64) {
+        for (i, w) in self.plan.partitions.iter().enumerate() {
+            if self.part_onset[i].is_none() && self.spec.base_round + self.max_round >= w.at_round {
+                self.part_onset[i] = Some(tick);
+            }
+        }
+    }
+
+    /// Is edge `d` silenced by an open, not-yet-healed partition window
+    /// at `tick`?
+    fn partition_silences(&self, d: usize, tick: u64) -> bool {
+        let mut mask = self.part_mask[d];
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if let Some(t0) = self.part_onset[i] {
+                if tick < t0 + self.plan.partitions[i].heal_at {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// The reverse directed edge of slot `d` (the delivery slot of the
@@ -897,13 +1021,21 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         }
         self.tx[d].last_send = tick;
         self.tx[d].dirty = false;
-        let frame = Frame {
+        let mut frame = Frame {
             data: self.tx[d].data.clone(),
             ack_seq: self.rx[rev].rcv_seq,
             safe_upto: self.nodes[u].safe,
             safe_seen: self.rx[rev].peer_safe,
             needs_echo,
+            crc: 0,
         };
+        frame.crc = frame_checksum(self.phase_salt, &frame);
+        // An open partition window swallows the frame before the link
+        // faults even see it: the cut is physical, coins are moot.
+        if !self.part_mask.is_empty() && self.partition_silences(d, tick) {
+            self.sim.partitioned += 1;
+            return;
+        }
         if self.plan.drops(d, tick) {
             self.sim.dropped += 1;
             return;
@@ -914,10 +1046,31 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         if self.plan.duplicates(d, tick) {
             self.sim.duplicated += 1;
             let at2 = (tick + 1 + self.plan.delay(d, tick, 1)) as usize % window;
-            self.calendar[at2].push((d, frame.clone()));
+            let mut copy = frame.clone();
+            self.maybe_corrupt(&mut copy, d, tick, 1);
+            self.calendar[at2].push((d, copy));
             self.in_flight += 1;
         }
+        self.maybe_corrupt(&mut frame, d, tick, 0);
         self.calendar[at].push((d, frame));
+    }
+
+    /// The corruption adversary: with probability `corrupt_per_mille`,
+    /// flips one seeded bit in one checksummed control field of this
+    /// frame copy. The frame still decodes — same shape, plausible
+    /// values — which is exactly what makes the checksum (not the
+    /// parser) the last line of defense.
+    fn maybe_corrupt(&mut self, frame: &mut Frame<A::Msg>, d: usize, tick: u64, copy: u64) {
+        if self.plan.corrupt_per_mille == 0 || !self.plan.corrupts(d, tick, copy) {
+            return;
+        }
+        let coin = self.plan.corruption(d, tick, copy);
+        let bit = 1u64 << (coin >> 8 & 63);
+        match coin % 3 {
+            0 => frame.ack_seq ^= bit,
+            1 => frame.safe_upto ^= bit,
+            _ => frame.safe_seen ^= bit,
+        }
     }
 
     fn run(
@@ -958,6 +1111,15 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             .saturating_mul(u64::from(self.plan.max_attempts.max(1)) + 1);
         // Each crash can stall the network for a full suspicion window
         // before the detector unwedges it — budget those on top.
+        // Partition windows stall their edges for their whole duration
+        // (plus a suspicion window if the detector fires across the
+        // cut) — budget those too.
+        let partition_allowance: u64 = self
+            .plan
+            .partitions
+            .iter()
+            .map(|w| w.heal_at.saturating_add(self.suspect_after))
+            .fold(0, u64::saturating_add);
         let tick_cap = spec
             .cap
             .saturating_add(2)
@@ -965,7 +1127,8 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             .saturating_add(
                 self.suspect_after
                     .saturating_mul(self.plan.crashes.len() as u64 + 1),
-            );
+            )
+            .saturating_add(partition_allowance);
         let mut idle_ticks = 0u64;
         let mut tick = 0u64;
         loop {
@@ -975,6 +1138,11 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 self.max_round,
                 self.sim.suspicions,
             );
+            // 0. Open any partition window whose onset round the
+            //    session clock has reached.
+            if !self.part_onset.is_empty() {
+                self.open_partitions(tick);
+            }
             // 1. Deliver this tick's arrivals (sorted by edge so the
             //    order is schedule-independent and destination-grouped).
             let window = self.calendar.len();
@@ -983,6 +1151,14 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             arrivals.sort_by_key(|&(d, _)| d);
             let had_arrivals = !arrivals.is_empty();
             for (d, frame) in arrivals {
+                // Transport checksum first: a frame the adversary
+                // bit-flipped is discarded whole — it earns no ack, no
+                // suspicion rehabilitation, no keepalive credit (an
+                // imposter frame must not vouch for a dead sender).
+                if frame.crc != frame_checksum(self.phase_salt, &frame) {
+                    self.sim.corrupted += 1;
+                    continue;
+                }
                 if self.detect {
                     self.last_heard[d] = tick;
                     if self.suspected[d] {

@@ -59,4 +59,4 @@ mod executor;
 mod plan;
 
 pub use executor::FaultyExecutor;
-pub use plan::{CrashEvent, FaultPlan, SuspicionPolicy, DEFAULT_SUSPECT_PATIENCE};
+pub use plan::{CrashEvent, FaultPlan, PartitionEvent, SuspicionPolicy, DEFAULT_SUSPECT_PATIENCE};

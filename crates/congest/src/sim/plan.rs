@@ -34,6 +34,31 @@ pub struct CrashEvent {
     pub rejoin: Option<u64>,
 }
 
+/// One partition window: every frame sent on a listed edge (either
+/// direction) is silently discarded from the moment the session's
+/// global virtual clock reaches `at_round` until `heal_at` physical
+/// ticks later, when the links heal. Unlike a crash, nothing is wrong
+/// with the *nodes*: once the window closes, retransmission delivers
+/// the parked traffic and any suspicion raised across the cut is
+/// revoked by the first post-heal arrival — which is exactly the
+/// observable that lets a recovery driver distinguish "partitioned"
+/// from "dead".
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PartitionEvent {
+    /// The undirected edges the partition silences, as unordered
+    /// node-id pairs (both directions of each edge go quiet).
+    pub cut_edges: Vec<(u32, u32)>,
+    /// The first global virtual round of the outage: the window opens
+    /// at the first physical tick of whichever phase reaches this
+    /// round on the session clock.
+    pub at_round: u64,
+    /// How many physical ticks after onset the partition heals. The
+    /// window is bounded by the phase that opens it: a phase completes
+    /// only after every payload crossed, so a partition still unhealed
+    /// at a phase boundary has observationally healed.
+    pub heal_at: u64,
+}
+
 /// What the faulty executor does when a node first suspects a silent
 /// peer (see [`FaultPlan::suspect_after`]).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
@@ -89,6 +114,29 @@ pub struct FaultPlan {
     /// the crash-free PR 5 behaviour — no keepalives, no suspicion
     /// machinery, byte-identical ledgers.
     pub crashes: Vec<CrashEvent>,
+    /// Crash events of nodes no longer in the current id space: a
+    /// [`FaultPlan::remapped`] excision moves rejoin-pending events
+    /// here instead of dropping them, so a scheduled transient outage
+    /// is not silently promoted to a permanent death. Parked events
+    /// keep the node ids of the space the excision map was applied
+    /// *from* (only the recovery driver that built the map can
+    /// translate them), never arm the executor's crash machinery, and
+    /// ride [`FaultPlan::rebased`] like live events — except that a
+    /// due rejoin pins at `Some(0)` instead of expiring, so the driver
+    /// sees the re-admission. The driver clears an entry when it
+    /// re-admits the node.
+    pub parked: Vec<CrashEvent>,
+    /// The partition schedule: edge-set silencing windows on the same
+    /// global virtual clock as `crashes`. Empty by default; like the
+    /// crash schedule, a plan without partitions keeps the transport
+    /// byte-identical to the partition-free build.
+    pub partitions: Vec<PartitionEvent>,
+    /// Per-frame corruption probability in ‰: a corrupted frame has one
+    /// seeded bit flipped in a checksummed control field. It still
+    /// decodes, but the receiver's per-phase checksum rejects it whole
+    /// (no ack, no keepalive credit), so the retransmission machinery
+    /// repairs the loss. Metered as `corrupted` in the phase stats.
+    pub corrupt_per_mille: u16,
     /// Failure-detector patience: a peer is suspected after
     /// `suspect_patience · (resend_after + max_delay + 1)` silent ticks
     /// (see [`FaultPlan::suspect_after`]); `0` is treated as the
@@ -116,6 +164,9 @@ impl Default for FaultPlan {
             resend_after: 4,
             max_attempts: 64,
             crashes: Vec::new(),
+            parked: Vec::new(),
+            partitions: Vec::new(),
+            corrupt_per_mille: 0,
             suspect_patience: DEFAULT_SUSPECT_PATIENCE,
             on_suspect: SuspicionPolicy::Abort,
         }
@@ -190,11 +241,53 @@ impl FaultPlan {
         self
     }
 
+    /// This plan with one additional partition window: the listed
+    /// undirected edges go silent when the session clock reaches
+    /// `at_round` and heal `heal_at` physical ticks later.
+    pub fn with_partition(
+        mut self,
+        cut_edges: Vec<(u32, u32)>,
+        at_round: u64,
+        heal_at: u64,
+    ) -> Self {
+        self.partitions.push(PartitionEvent {
+            cut_edges,
+            at_round,
+            heal_at,
+        });
+        self
+    }
+
+    /// This plan with the given frame-corruption probability in ‰.
+    pub fn corrupted(mut self, corrupt_per_mille: u16) -> Self {
+        self.corrupt_per_mille = corrupt_per_mille;
+        self
+    }
+
     /// Does this plan schedule any crash at all? `false` guarantees the
     /// executor's transport behaviour is byte-identical to a crash-free
     /// build: keepalives and the suspicion sweep are gated on this.
+    /// Parked events are of nodes outside the id space and do not arm
+    /// anything.
     pub fn has_crashes(&self) -> bool {
         !self.crashes.is_empty()
+    }
+
+    /// Does this plan schedule any partition window? Arms the failure
+    /// detector (a long partition must be *suspectable*, or the
+    /// partitioned-vs-dead question could never be asked) but not the
+    /// crash schedule.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Had any partition window begun by global round `round`? The
+    /// recovery driver uses this to blame an abort on a partition when
+    /// the census finds nobody actually dead — the signal to retry on
+    /// the same participant set instead of certifying (or failing) on
+    /// a half-partition that later heals.
+    pub fn partition_begun_by(&self, round: u64) -> bool {
+        self.partitions.iter().any(|p| p.at_round <= round)
     }
 
     /// Silent ticks after which a peer is suspected:
@@ -231,6 +324,11 @@ impl FaultPlan {
     /// recovery driver's clock: crashes that already fired become
     /// dead-from-round-0, future ones move closer, and events whose
     /// rejoin round has passed disappear (the node is alive again).
+    /// Parked events shift too, but a due rejoin pins at `Some(0)`
+    /// instead of expiring — the node is outside the id space, so only
+    /// the driver's re-admission (which clears the entry) can act on
+    /// it. Partition windows whose onset is strictly past are dropped:
+    /// their tick-bounded outage was served inside the consumed work.
     pub fn rebased(&self, consumed: u64) -> Self {
         let mut p = self.clone();
         p.crashes
@@ -239,20 +337,53 @@ impl FaultPlan {
             e.at_round = e.at_round.saturating_sub(consumed);
             e.rejoin = e.rejoin.map(|rj| rj - consumed);
         }
+        for e in &mut p.parked {
+            e.at_round = e.at_round.saturating_sub(consumed);
+            e.rejoin = e.rejoin.map(|rj| rj.saturating_sub(consumed));
+        }
+        p.partitions.retain(|w| w.at_round >= consumed);
+        for w in &mut p.partitions {
+            w.at_round -= consumed;
+        }
         p
     }
 
-    /// This plan with crash events renamed through `map` — events whose
+    /// This plan with crash events renamed through `map`. Events whose
     /// node maps to `None` (excised from the surviving subgraph) are
-    /// dropped. Link-fault coins are positional (edge, tick), so they
-    /// re-seed naturally on the remapped topology.
+    /// dropped — unless a rejoin is still pending, in which case the
+    /// event is parked (pre-remap id kept) for the recovery driver to
+    /// re-admit later; see [`FaultPlan::parked`]. Already-parked events
+    /// pass through untouched: they live in an older id space the map
+    /// does not speak. Partition endpoints are renamed the same way,
+    /// and a cut edge losing an endpoint (or a window losing every
+    /// edge) disappears — an excised node's links are gone with it.
+    /// Link-fault coins are positional (edge, tick), so they re-seed
+    /// naturally on the remapped topology.
     pub fn remapped(&self, mut map: impl FnMut(u32) -> Option<u32>) -> Self {
         let mut p = self.clone();
-        p.crashes = p
-            .crashes
-            .iter()
-            .filter_map(|e| map(e.node).map(|node| CrashEvent { node, ..*e }))
-            .collect();
+        p.crashes.clear();
+        for e in &self.crashes {
+            match map(e.node) {
+                Some(node) => p.crashes.push(CrashEvent { node, ..*e }),
+                None if e.rejoin.is_some() => p.parked.push(*e),
+                None => {}
+            }
+        }
+        p.partitions.clear();
+        for w in &self.partitions {
+            let cut_edges: Vec<(u32, u32)> = w
+                .cut_edges
+                .iter()
+                .filter_map(|&(a, b)| map(a).zip(map(b)))
+                .collect();
+            if !cut_edges.is_empty() {
+                p.partitions.push(PartitionEvent {
+                    cut_edges,
+                    at_round: w.at_round,
+                    heal_at: w.heal_at,
+                });
+            }
+        }
         p
     }
 
@@ -282,6 +413,25 @@ impl FaultPlan {
             % (u64::from(self.max_delay) + 1)
     }
 
+    /// Does the adversary corrupt copy `copy` of the frame sent on
+    /// `edge` at `tick`? A corrupted frame is delivered with one seeded
+    /// bit flipped in a checksummed control field (see
+    /// [`FaultPlan::corruption`]); each duplicate copy draws its own
+    /// coin, like delays.
+    pub(crate) fn corrupts(&self, edge: usize, tick: u64, copy: u64) -> bool {
+        per_mille(
+            self.coin(edge, tick, SALT_CORRUPT ^ copy.wrapping_mul(MIX_B)),
+            self.corrupt_per_mille,
+        )
+    }
+
+    /// The corruption pattern for a corrupted frame copy: a 64-bit coin
+    /// the executor splits into "which control field" and "which bit of
+    /// it" to flip.
+    pub(crate) fn corruption(&self, edge: usize, tick: u64, copy: u64) -> u64 {
+        self.coin(edge, tick, SALT_FLIP ^ copy.wrapping_mul(MIX_B))
+    }
+
     /// One 64-bit coin for (`seed`, `edge`, `tick`, `salt`) — a
     /// splitmix64 finalizer over the mixed key, so nearby keys decohere.
     fn coin(&self, edge: usize, tick: u64, salt: u64) -> u64 {
@@ -298,6 +448,8 @@ impl FaultPlan {
 const SALT_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
 const SALT_DUP: u64 = 0xD1B5_4A32_D192_ED03;
 const SALT_DELAY: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+const SALT_CORRUPT: u64 = 0xE703_7ED1_A0B4_28DB;
+const SALT_FLIP: u64 = 0xBF58_476D_1CE4_E5B9;
 const MIX_A: u64 = 0xA24B_AED4_963E_E407;
 const MIX_B: u64 = 0x9FB2_1C65_1E98_DF25;
 const MIX_C: u64 = 0xC2B2_AE3D_27D4_EB4F;

@@ -133,6 +133,50 @@ fn remap_then_rebase_equals_rebase_then_remap() {
 }
 
 #[test]
+fn remap_parks_rejoin_events_of_excised_nodes() {
+    // Node 7 dies at round 10 but is scheduled to rejoin at round 50.
+    // The recovery driver excises it after the abort and compacts ids —
+    // the live crash schedule must drop it (nothing left to kill in the
+    // surviving subgraph), but the *rejoin* must not be forgotten:
+    // silently dropping the event turns a scheduled transient outage
+    // into a permanent death. Parked events keep their pre-remap ids;
+    // the recovery driver owns the id translation back into the graph.
+    let plan = FaultPlan::lossless().with_crashes(vec![
+        ev(7, 10, Some(50)), // excised, rejoin pending → parked
+        ev(3, 20, None),     // excised, no rejoin → gone for good
+        ev(9, 30, Some(90)), // survives the remap → stays live
+    ]);
+    let survivors = plan.remapped(|v| match v {
+        3 | 7 => None,
+        v if v > 7 => Some(v - 2),
+        v => Some(v - 1),
+    });
+    assert_eq!(survivors.crashes, [ev(7, 30, Some(90))]);
+    assert_eq!(
+        survivors.parked,
+        [ev(7, 10, Some(50))],
+        "rejoin-pending events of excised nodes must survive the remap"
+    );
+    // Parked events do not arm the crash machinery and are invisible to
+    // the executor's schedule (the node is not even in the id space)...
+    let fully = plan.remapped(|_| None);
+    assert!(!fully.has_crashes(), "parked events do not arm crashes");
+    assert_eq!(fully.crash_round_of(7, 0), None);
+    assert_eq!(fully.parked, [ev(7, 10, Some(50)), ev(9, 30, Some(90))]);
+    // ...but they ride the recovery clock: rebasing shifts them like
+    // live events, and a due rejoin (rejoin ≤ consumed) pins at zero so
+    // the driver sees the re-admission instead of losing it.
+    let shifted = survivors.rebased(30);
+    assert_eq!(shifted.parked, [ev(7, 0, Some(20))]);
+    let due = survivors.rebased(60);
+    assert_eq!(
+        due.parked,
+        [ev(7, 0, Some(0))],
+        "due rejoins pin at zero rather than vanish"
+    );
+}
+
+#[test]
 fn duplicate_events_for_one_node_take_the_earliest_crash() {
     // Two overlapping schedules for the same node (e.g. a group crash
     // composed with an individual one): the node dies at the *earliest*

@@ -12,10 +12,20 @@
 //! Crash rounds are drawn from `0..10`, far below the detector's idle
 //! span (≥ `suspect_after()` ≥ 56 rounds), so every scheduled crash
 //! actually fires mid-phase; at least one node always survives.
+//!
+//! Three further adversary properties ride on the same harness:
+//! census-under-crash (a node dying *mid-census* still converges — the
+//! rebased second pass reports the enlarged dead set exactly),
+//! partition-heal parity (a partition window that heals before the
+//! suspicion threshold is invisible: outputs and payload metrics are
+//! bit-identical to the partition-free run), and corruption parity
+//! (checksummed bit-flips are discarded and retransmitted, again
+//! bit-identically).
 
+use congest::algorithm::{Algorithm, FinishResult, Outbox, Step};
 use congest::primitives::failure_detector::{FailureDetector, FdReport};
 use congest::sim::{CrashEvent, FaultPlan};
-use congest::{MetricsLedger, Network, NetworkConfig};
+use congest::{MetricsLedger, Network, NetworkConfig, NodeCtx, Port};
 use graphs::{generators, NodeId, WeightedGraph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -74,6 +84,72 @@ fn census(g: &WeightedGraph, plan: FaultPlan) -> (Vec<FdReport>, MetricsLedger) 
         .run("census", &det, vec![(); g.node_count()])
         .expect("the census completes under Continue");
     (out.outputs, net.ledger().clone())
+}
+
+/// A minimal payload-bearing phase for the parity properties: flood the
+/// global minimum input (each node re-announces whenever its running
+/// minimum drops), halting after `ttl` rounds. With `ttl ≥ n` every
+/// node converges to the global minimum on any connected graph.
+struct MinFlood {
+    ttl: u64,
+}
+
+impl Algorithm for MinFlood {
+    type Input = u64;
+    type State = u64;
+    type Msg = u64;
+    type Output = u64;
+
+    fn boot(&self, ctx: &NodeCtx<'_>, input: u64) -> (u64, Outbox<u64>) {
+        let mut o = Outbox::new();
+        o.send_all(ctx.ports(), input);
+        (input, o)
+    }
+
+    fn round(&self, s: &mut u64, ctx: &NodeCtx<'_>, inbox: &[(Port, u64)]) -> Step<u64> {
+        let before = *s;
+        for (_, m) in inbox {
+            *s = (*s).min(*m);
+        }
+        if ctx.round >= self.ttl {
+            return Step::halt();
+        }
+        let mut o = Outbox::new();
+        if *s < before {
+            o.send_all(ctx.ports(), *s);
+        }
+        Step::Continue(o)
+    }
+
+    fn finish(&self, s: u64, _ctx: &NodeCtx<'_>) -> FinishResult<u64> {
+        Ok(s)
+    }
+}
+
+/// Runs [`MinFlood`] under `plan` and returns (outputs, ledger).
+fn flood(g: &WeightedGraph, plan: FaultPlan) -> (Vec<u64>, MetricsLedger) {
+    let n = g.node_count();
+    let inputs: Vec<u64> = (0..n as u64).map(|v| (v << 8) | 1).collect();
+    let cfg = NetworkConfig::default().with_fault_plan(plan);
+    let mut net = Network::new(g, cfg).expect("valid topology");
+    let out = net
+        .run("heal_parity", &MinFlood { ttl: n as u64 }, inputs)
+        .expect("no abort: the adversary heals before the suspicion threshold");
+    (out.outputs, net.ledger().clone())
+}
+
+/// The undirected edge list of `g`, as `(lo, hi)` pairs.
+fn edge_list(g: &WeightedGraph) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for v in 0..g.node_count() {
+        for adj in g.neighbors(NodeId::from_index(v)) {
+            let u = adj.neighbor.index();
+            if u > v {
+                edges.push((v as u32, u as u32));
+            }
+        }
+    }
+    edges
 }
 
 proptest! {
@@ -138,5 +214,170 @@ proptest! {
         let (again, ledger2) = census(&g, plan);
         prop_assert_eq!(&reports, &again);
         prop_assert_eq!(ledger.phases(), ledger2.phases());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Census-under-crash: one node is dead from boot and a second dies
+    /// *mid-census* (its crash round falls inside the census span). The
+    /// first pass never falsely suspects anyone and every completed
+    /// neighbor of the mid-census victim reports it; a second pass on
+    /// the rebased plan — exactly what the recovery driver's fixpoint
+    /// loop runs — converges to the enlarged dead set precisely. The
+    /// whole mid-census pass is byte-identical on rerun.
+    #[test]
+    fn census_reconverges_after_a_mid_census_death(
+        family in 0u8..3,
+        seed in 0u64..5000,
+        size in 6usize..28,
+        at in 2u64..20,
+    ) {
+        let g = make_graph(family, seed, size);
+        let n = g.node_count();
+        let a = (seed as usize) % n;
+        let b = (a + 1 + (seed as usize / 7) % (n - 1)) % n;
+        prop_assert!(a != b, "the offset construction keeps the victims distinct");
+        let dead = |v: usize| v == a || v == b;
+        let plan = FaultPlan::lossless()
+            .with_crash(a as u32, 0)
+            .with_crash(b as u32, at)
+            .continue_on_suspicion();
+
+        let (first, ledger1) = census(&g, plan.clone());
+        prop_assert!(!first[a].completed, "boot-dead node {a} is a zombie");
+        prop_assert!(!first[b].completed, "mid-census victim {b} is a zombie");
+        for (v, r) in first.iter().enumerate() {
+            if dead(v) {
+                continue;
+            }
+            prop_assert!(r.completed, "live node {v} failed to complete");
+            for s in &r.suspects {
+                prop_assert!(
+                    dead(s.index()),
+                    "node {} falsely suspects live node {}", v, s.index()
+                );
+            }
+        }
+        for adj in g.neighbors(NodeId::from_index(b)) {
+            let v = adj.neighbor.index();
+            if !dead(v) {
+                prop_assert!(
+                    first[v].suspects.contains(&NodeId::from_index(b)),
+                    "live neighbor {v} of the mid-census victim missed it"
+                );
+            }
+        }
+        prop_assert_eq!(ledger1.total_false_suspicions(), 0);
+
+        // Second pass on the rebased plan (the fixpoint iteration):
+        // both deaths are now at round 0, so the detector converges to
+        // the enlarged set exactly — suspects == dead neighbors.
+        let consumed = ledger1.total_rounds();
+        let (second, ledger2) = census(&g, plan.clone().rebased(consumed));
+        for (v, r) in second.iter().enumerate() {
+            if dead(v) {
+                prop_assert!(!r.completed);
+                continue;
+            }
+            prop_assert!(r.completed, "live node {v} failed the second pass");
+            let mut expect: Vec<NodeId> = g
+                .neighbors(NodeId::from_index(v))
+                .iter()
+                .filter(|x| dead(x.neighbor.index()))
+                .map(|x| x.neighbor)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(&r.suspects, &expect, "node {} second-pass census", v);
+        }
+        prop_assert_eq!(ledger2.total_false_suspicions(), 0);
+
+        // Byte-identical rerun of the mid-census pass.
+        let (again, lagain) = census(&g, plan);
+        prop_assert_eq!(&first, &again);
+        prop_assert_eq!(ledger1.phases(), lagain.phases());
+    }
+
+    /// Partition-heal parity: a partition window over an arbitrary edge
+    /// subset that heals before the suspicion threshold (`heal_at` ≪
+    /// `suspect_after() == 40` lossless ticks) never aborts the phase
+    /// and is *invisible* at the virtual layer — outputs and payload
+    /// metrics are bit-identical to the partition-free run; only the
+    /// `sim.partitioned` meter betrays that frames were silenced.
+    #[test]
+    fn partition_healing_before_the_threshold_is_invisible(
+        family in 0u8..3,
+        seed in 0u64..5000,
+        size in 6usize..28,
+        heal_at in 1u64..25,
+    ) {
+        let g = make_graph(family, seed, size);
+        let edges = edge_list(&g);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        let mut cut: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_range(0..3u32) == 0)
+            .collect();
+        if cut.is_empty() {
+            cut.push(edges[0]);
+        }
+
+        let (base_out, base_ledger) = flood(&g, FaultPlan::lossless());
+        let global_min = (0..g.node_count() as u64).map(|v| (v << 8) | 1).min();
+        prop_assert!(base_out.iter().all(|&o| Some(o) == global_min));
+
+        // Window opens at round 0 (boot traffic guarantees silenced
+        // frames) and heals `heal_at` ticks later — under the 40-tick
+        // suspicion threshold, so the default Abort policy never fires.
+        let plan = FaultPlan::lossless().with_partition(cut, 0, heal_at);
+        let (part_out, part_ledger) = flood(&g, plan);
+        prop_assert_eq!(&part_out, &base_out, "outputs diverged under a healed partition");
+        prop_assert!(
+            part_ledger.total_partitioned() > 0,
+            "the window never intersected boot traffic"
+        );
+        prop_assert_eq!(part_ledger.total_false_suspicions(), 0);
+        let (pa, pb) = (part_ledger.phases(), base_ledger.phases());
+        prop_assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb) {
+            prop_assert_eq!(
+                (x.rounds, x.messages, x.bits, x.max_edge_load_bits),
+                (y.rounds, y.messages, y.bits, y.max_edge_load_bits),
+                "payload metrics diverged under a healed partition"
+            );
+        }
+    }
+
+    /// Corruption parity: seeded bit-flips that still decode are caught
+    /// by the per-phase frame checksum, discarded, and repaired by
+    /// retransmission — outputs and payload metrics stay bit-identical
+    /// to the clean run, and the `sim.corrupted` meter counts the
+    /// discards.
+    #[test]
+    fn corrupted_frames_are_discarded_and_repaired_invisibly(
+        family in 0u8..3,
+        seed in 0u64..5000,
+        size in 6usize..28,
+    ) {
+        let g = make_graph(family, seed, size);
+        let (base_out, base_ledger) = flood(&g, FaultPlan::lossless());
+        let (cor_out, cor_ledger) = flood(&g, FaultPlan::lossless().corrupted(600));
+        prop_assert_eq!(&cor_out, &base_out, "outputs diverged under corruption");
+        prop_assert!(
+            cor_ledger.total_corrupted() > 0,
+            "a 600‰ adversary corrupted nothing"
+        );
+        let (pa, pb) = (cor_ledger.phases(), base_ledger.phases());
+        prop_assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb) {
+            prop_assert_eq!(
+                (x.rounds, x.messages, x.bits, x.max_edge_load_bits),
+                (y.rounds, y.messages, y.bits, y.max_edge_load_bits),
+                "payload metrics diverged under corruption"
+            );
+        }
     }
 }

@@ -185,6 +185,132 @@ pub(crate) struct PipelineOutcome {
     pub tree_edges: Vec<Vec<graphs::EdgeId>>,
 }
 
+/// A driver-side snapshot of the pipeline's validated stage outputs,
+/// filled in as the run progresses: the election/BFS stage once
+/// [`Pipeline::new`] returns, one tree entry per completed packing
+/// iteration. The self-healing driver keeps the latest log across
+/// aborted attempts and hands validated pieces of it back as a
+/// [`ResumeSpec`] — capture is pure bookkeeping over state the
+/// sequential driver already holds, so it costs zero rounds.
+///
+/// Ids are in the current graph's id space; the recovery driver
+/// translates through its compaction maps.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RecoveryLog {
+    /// The elected leader.
+    pub leader: Option<u32>,
+    /// BFS-tree parent map: `bfs[v] = Some(u)` ⇒ `u` is `v`'s parent;
+    /// `None` at the leader.
+    pub bfs: Option<Vec<Option<u32>>>,
+    /// One entry per finished packed tree, in packing order.
+    pub trees: Vec<LoggedTree>,
+}
+
+/// One checkpointed packed tree: the global tree's parent map plus its
+/// 1-respecting minimum `(value, argmin)`.
+pub(crate) type LoggedTree = (Vec<Option<u32>>, (u64, u32));
+
+/// One restorable packed tree in a [`ResumeSpec`]: an undirected edge
+/// list plus the optionally still-trusted checkpointed minimum
+/// `(value, (x, y))` — see [`ResumeSpec::trees`].
+pub(crate) type RestoredTree = (Vec<(u32, u32)>, Option<(u64, (u32, u32))>);
+
+/// A resume order handed to the pipeline by the self-healing driver:
+/// checkpointed structures already validated against the survivor set,
+/// to be restored instead of recomputed.
+#[derive(Clone, Debug)]
+pub(crate) struct ResumeSpec {
+    /// Restore the election stage: `(leader, BFS parent map)`, already
+    /// known to be a spanning tree of the current graph rooted at a
+    /// live leader. `None` ⇒ re-elect from scratch (the checkpointed
+    /// leader died).
+    pub bfs: Option<(u32, Vec<Option<u32>>)>,
+    /// Checkpointed packed trees to restore, oldest first, as
+    /// undirected edge lists (the driver re-roots them at whatever
+    /// leader the attempt ends up with). `Some((value, (x, y)))` ⇒ the
+    /// checkpointed 1-respecting minimum is still trustworthy and is
+    /// attained by cutting tree edge `(x, y)` — either because the
+    /// participant set is unchanged, or because every excised node was
+    /// pendant in the checkpoint's graph (a degree-1 node's only edge
+    /// crosses no survivor subtree cut, so every surviving cut value is
+    /// untouched by the excision). The edge form survives re-rooting:
+    /// the argmin node is whichever endpoint is the child under the
+    /// new orientation. `None` ⇒ the restored tree's cut must be
+    /// re-evaluated distributed.
+    pub trees: Vec<RestoredTree>,
+    /// Name prefix of the resume validation phases
+    /// (`recover.e{epoch}.resume`).
+    pub prefix: String,
+}
+
+/// Orients an undirected spanning-tree edge list into a parent map
+/// rooted at `root` (driver-side re-rooting: checkpointed trees stay
+/// usable under a freshly elected leader).
+fn reroot(n: usize, edges: &[(u32, u32)], root: u32) -> Vec<Option<u32>> {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    let mut parents: Vec<Option<u32>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[root as usize] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for &u in &adj[v as usize] {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                parents[u as usize] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    debug_assert!(seen.iter().all(|&s| s), "resume spec trees span the graph");
+    parents
+}
+
+/// Per-node [`TreeInfo`] views of a parent map (ports and depths
+/// derived locally — every node knows its neighbors a priori, so the
+/// restoration costs zero messages).
+fn tree_infos(g: &WeightedGraph, parents: &[Option<u32>]) -> Vec<TreeInfo> {
+    let n = parents.len();
+    let port_to = |v: usize, u: u32| -> Port {
+        Port(
+            g.neighbors(NodeId::from_index(v))
+                .iter()
+                .position(|a| a.neighbor.raw() == u)
+                .expect("tree edges are graph edges") as u32,
+        )
+    };
+    let mut infos: Vec<TreeInfo> = (0..n)
+        .map(|v| TreeInfo {
+            parent: parents[v].map(|u| port_to(v, u)),
+            children: Vec::new(),
+            depth: 0,
+        })
+        .collect();
+    let mut kids: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (v, &p) in parents.iter().enumerate() {
+        if let Some(u) = p {
+            infos[u as usize]
+                .children
+                .push(port_to(u as usize, v as u32));
+            kids[u as usize].push(v as u32);
+        }
+    }
+    let root = (0..n).find(|&v| parents[v].is_none()).expect("rooted tree");
+    let mut queue = std::collections::VecDeque::from([root as u32]);
+    while let Some(v) = queue.pop_front() {
+        let d = infos[v as usize].depth + 1;
+        infos[v as usize].children.sort_unstable();
+        for &c in &kids[v as usize] {
+            infos[c as usize].depth = d;
+            queue.push_back(c);
+        }
+    }
+    infos
+}
+
 /// Per-node persistent local memory threaded through the phases.
 #[derive(Clone, Debug, Default)]
 struct NodeMem {
@@ -334,6 +460,196 @@ impl<'g> Pipeline<'g> {
             leader,
             n,
         })
+    }
+
+    /// [`Pipeline::new`] minus the election: restores a checkpointed
+    /// BFS tree (leader + parent map) instead of running `leader_bfs`.
+    /// The caller must follow up with [`Pipeline::validate_restored`] —
+    /// the distributed re-validation that every restored node is
+    /// actually alive and reachable along the restored edges.
+    fn new_restored(
+        g: &'g WeightedGraph,
+        network: NetworkConfig,
+        mst: MstConfig,
+        pack_edge: &[u64],
+        leader: u32,
+        parents: &[Option<u32>],
+    ) -> Result<Self, (MinCutError, MetricsLedger)> {
+        let n = g.node_count();
+        let net =
+            Network::new(g, network).map_err(|e| (MinCutError::from(e), MetricsLedger::new()))?;
+        let infos = tree_infos(g, parents);
+        let mems = g
+            .nodes()
+            .map(|v| {
+                let adj = g.neighbors(v);
+                NodeMem {
+                    bfs: infos[v.index()].clone(),
+                    edge_ids: adj.iter().map(|a| a.edge.raw()).collect(),
+                    weights: adj.iter().map(|a| a.weight).collect(),
+                    pack_w: adj.iter().map(|a| pack_edge[a.edge.index()]).collect(),
+                    delta: g.weighted_degree(v),
+                    loads: vec![0; adj.len()],
+                    ..Default::default()
+                }
+            })
+            .collect();
+        Ok(Pipeline {
+            g,
+            net,
+            mst,
+            mems,
+            leader: NodeId::new(leader),
+            n,
+        })
+    }
+
+    /// Distributed re-validation of a restored tree: one convergecast
+    /// counting the nodes the tree's edges actually reach. A count
+    /// short of `n` means the restored structure is stale (a logic
+    /// error — the driver validates structurally before restoring);
+    /// a node that died since the checkpoint surfaces as the usual
+    /// suspicion abort, which the recovery loop catches.
+    fn validate_restored(
+        &mut self,
+        name: &str,
+        parents: &[Option<u32>],
+    ) -> Result<(), MinCutError> {
+        let infos = tree_infos(self.g, parents);
+        let inputs: Vec<(TreeInfo, SumU64)> =
+            (0..self.n).map(|v| (infos[v].clone(), SumU64(1))).collect();
+        let out = self.net.run(name, &Convergecast::new(), inputs)?;
+        let root = (0..self.n)
+            .find(|&v| parents[v].is_none())
+            .expect("rooted tree");
+        let count = out.outputs[root].map_or(0, |SumU64(c)| c);
+        if count != self.n as u64 {
+            return Err(MinCutError::InvalidConfig {
+                reason: format!(
+                    "restored checkpoint tree reached {count} of {} survivors",
+                    self.n
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The port of `v` toward neighbor `u`.
+    fn port_to(&self, v: usize, u: u32) -> Port {
+        Port(
+            self.g
+                .neighbors(NodeId::from_index(v))
+                .iter()
+                .position(|a| a.neighbor.raw() == u)
+                .expect("tree edges are graph edges") as u32,
+        )
+    }
+
+    /// Installs a restored spanning tree as **one fragment** rooted at
+    /// the leader: every node carries the same fragment label and there
+    /// are no inter-fragment edges, so `cut_stage` on this memory
+    /// computes the exact global 1-respecting minimum of the restored
+    /// tree (the single-fragment degradation of the fragment
+    /// decomposition — every incident edge is a same-fragment case).
+    fn install_tree(&mut self, parents: &[Option<u32>]) {
+        debug_assert_eq!(
+            parents[self.leader.index()],
+            None,
+            "re-rooted at the leader"
+        );
+        self.reset_tree();
+        let root = self.leader.raw();
+        let mut child_ports: Vec<Vec<Port>> = vec![Vec::new(); self.n];
+        let mut parent_ports: Vec<Option<Port>> = vec![None; self.n];
+        for v in 0..self.n {
+            if let Some(u) = parents[v] {
+                parent_ports[v] = Some(self.port_to(v, u));
+                child_ports[u as usize].push(self.port_to(u as usize, v as u32));
+            }
+        }
+        for (v, m) in self.mems.iter_mut().enumerate() {
+            m.frag = root;
+            m.port_frag = vec![root; m.edge_ids.len()];
+            m.parent = parent_ports[v];
+            m.tree_ports = child_ports[v]
+                .iter()
+                .copied()
+                .chain(parent_ports[v])
+                .collect();
+        }
+    }
+
+    /// Replays a checkpointed tree's per-port load increments (what its
+    /// `finish_tree` did when it originally completed): both endpoints
+    /// of every tree edge count one more use. Evidence-resume
+    /// bookkeeping — zero rounds.
+    fn replay_tree_loads(&mut self, parents: &[Option<u32>]) {
+        for (v, &p) in parents.iter().enumerate().take(self.n) {
+            if let Some(u) = p {
+                let pv = self.port_to(v, u);
+                let pu = self.port_to(u as usize, v as u32);
+                self.mems[v].loads[pv.index()] += 1;
+                self.mems[u as usize].loads[pu.index()] += 1;
+            }
+        }
+    }
+
+    /// Re-installs the best-tree snapshot (`side()`'s flood scaffold)
+    /// from a checkpointed parent map — what `finish_tree(true)` stored
+    /// when that tree originally improved the bound.
+    fn install_snap(&mut self, parents: &[Option<u32>]) {
+        let mut child_ports: Vec<Vec<Port>> = vec![Vec::new(); self.n];
+        let mut parent_ports: Vec<Option<Port>> = vec![None; self.n];
+        for v in 0..self.n {
+            if let Some(u) = parents[v] {
+                parent_ports[v] = Some(self.port_to(v, u));
+                child_ports[u as usize].push(self.port_to(u as usize, v as u32));
+            }
+        }
+        for (v, m) in self.mems.iter_mut().enumerate() {
+            m.snap_parent = parent_ports[v];
+            m.snap_children = std::mem::take(&mut child_ports[v]);
+            m.snap_children.sort_unstable();
+        }
+    }
+
+    /// The current global tree as a parent map (checkpoint capture).
+    fn tree_parents(&self) -> Vec<Option<u32>> {
+        (0..self.n)
+            .map(|v| {
+                self.mems[v].t_parent().map(|p| {
+                    self.g.neighbors(NodeId::from_index(v))[p.index()]
+                        .neighbor
+                        .raw()
+                })
+            })
+            .collect()
+    }
+
+    /// The BFS tree as a parent map (checkpoint capture).
+    fn bfs_parents(&self) -> Vec<Option<u32>> {
+        (0..self.n)
+            .map(|v| {
+                self.mems[v].bfs.parent.map(|p| {
+                    self.g.neighbors(NodeId::from_index(v))[p.index()]
+                        .neighbor
+                        .raw()
+                })
+            })
+            .collect()
+    }
+
+    /// The sorted edge ids of a parent map (the `tree_edges` outcome
+    /// entry for restored trees).
+    fn edge_ids_of(&self, parents: &[Option<u32>]) -> Vec<graphs::EdgeId> {
+        let mut ids: Vec<graphs::EdgeId> = (0..self.n)
+            .filter_map(|v| {
+                parents[v]
+                    .map(|u| graphs::EdgeId::new(self.mems[v].edge_ids[self.port_to(v, u).index()]))
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The minimum-weighted-degree singleton: the packing's seed
@@ -1475,6 +1791,21 @@ pub(crate) fn run_pipeline_traced(
     g: &WeightedGraph,
     opts: &PipelineOpts,
 ) -> Result<PipelineOutcome, (MinCutError, MetricsLedger)> {
+    run_pipeline_checkpointed(g, opts, None, None)
+}
+
+/// [`run_pipeline_traced`] with the self-healing driver's checkpoint
+/// seam: `resume` restores pre-validated structures from an earlier
+/// attempt's [`RecoveryLog`] (skipping the stages that produced them),
+/// and `log` captures this attempt's own stage outputs as they
+/// complete. Both default to off — `exact_mincut` and the baselines pay
+/// nothing for the seam.
+pub(crate) fn run_pipeline_checkpointed(
+    g: &WeightedGraph,
+    opts: &PipelineOpts,
+    resume: Option<&ResumeSpec>,
+    log: Option<&mut RecoveryLog>,
+) -> Result<PipelineOutcome, (MinCutError, MetricsLedger)> {
     let n = g.node_count();
     if n < 2 {
         return Err((MinCutError::TooSmall { nodes: n }, MetricsLedger::new()));
@@ -1507,14 +1838,51 @@ pub(crate) fn run_pipeline_traced(
         }
     }
 
-    let mut pl = Pipeline::new(
-        g,
-        opts.network.clone(),
-        opts.mst.clone(),
-        opts.election,
-        &pack_edge,
-    )?;
-    match drive_packing(&mut pl, opts) {
+    let mut pl = match resume.and_then(|s| s.bfs.as_ref()) {
+        Some((leader, parents)) => Pipeline::new_restored(
+            g,
+            opts.network.clone(),
+            opts.mst.clone(),
+            &pack_edge,
+            *leader,
+            parents,
+        )?,
+        None => Pipeline::new(
+            g,
+            opts.network.clone(),
+            opts.mst.clone(),
+            opts.election,
+            &pack_edge,
+        )?,
+    };
+    // Fail-fast distributed re-validation of the restored structures: a
+    // node that died since the checkpoint aborts here (cheaply), before
+    // any restored evidence is acted on. The structural re-runs of the
+    // shrunk-survivor path validate themselves (each restored tree's
+    // cut stage runs in full), so the explicit phases only cover the
+    // evidence path.
+    if let Some(spec) = resume {
+        if let Some((_, parents)) = &spec.bfs {
+            if let Err(e) = pl.validate_restored(&format!("{}.bfs", spec.prefix), parents) {
+                let ledger = pl.net.ledger().clone();
+                return Err((e, ledger));
+            }
+        }
+        // Trusted trees replay their cut values without re-running the
+        // cut stage, so their structure is the evidence — validate the
+        // deepest trusted entry whether the BFS tree was restored or
+        // freshly elected (the pendant-excision trust path arrives
+        // here with `bfs: None`: the dead leader invalidated the BFS
+        // tree but not the finished trees' cut values).
+        if let Some((edges, _)) = spec.trees.iter().rev().find(|(_, c)| c.is_some()) {
+            let parents = reroot(n, edges, pl.leader.raw());
+            if let Err(e) = pl.validate_restored(&format!("{}.trees", spec.prefix), &parents) {
+                let ledger = pl.net.ledger().clone();
+                return Err((e, ledger));
+            }
+        }
+    }
+    match drive_packing(&mut pl, opts, resume, log) {
         Ok(outcome) => Ok(outcome),
         Err(e) => {
             let ledger = pl.net.ledger().clone();
@@ -1530,13 +1898,71 @@ pub(crate) fn run_pipeline_traced(
 fn drive_packing(
     pl: &mut Pipeline<'_>,
     opts: &PipelineOpts,
+    resume: Option<&ResumeSpec>,
+    mut log: Option<&mut RecoveryLog>,
 ) -> Result<PipelineOutcome, MinCutError> {
     let n = pl.n;
+    if let Some(log) = log.as_deref_mut() {
+        log.leader = Some(pl.leader.raw());
+        log.bfs = Some(pl.bfs_parents());
+        log.trees.clear();
+    }
     let (mut best_value, singleton) = pl.init_deg()?;
     let mut best_node: Option<NodeId> = None;
     let mut trees_to_best = 0usize;
     let mut packed = 0usize;
     let mut tree_edges: Vec<Vec<graphs::EdgeId>> = Vec::new();
+    // Restore the checkpointed trees before packing new ones. Trusted
+    // entries (unchanged participant set) replay their bookkeeping —
+    // loads, best-so-far, the side-flood snapshot — at zero rounds; the
+    // rest re-run their cut stage on the restored structure (the MST
+    // stages, the expensive part, are skipped either way).
+    if let Some(spec) = resume {
+        let mut snap: Option<Vec<Option<u32>>> = None;
+        for (edges, cut) in &spec.trees {
+            let parents = reroot(n, edges, pl.leader.raw());
+            tree_edges.push(pl.edge_ids_of(&parents));
+            packed += 1;
+            let (minc, argmin, replayed) = match cut {
+                Some((c, (x, y))) => {
+                    pl.replay_tree_loads(&parents);
+                    // The checkpointed argmin names a tree edge; its
+                    // argmin *node* is whichever endpoint is the child
+                    // under this attempt's rooting (a fresh leader may
+                    // have flipped the orientation).
+                    let a = if parents[*x as usize] == Some(*y) {
+                        *x
+                    } else {
+                        debug_assert_eq!(parents[*y as usize], Some(*x));
+                        *y
+                    };
+                    (*c, NodeId::new(a), true)
+                }
+                None => {
+                    pl.install_tree(&parents);
+                    let (minc, argmin) = pl.cut_stage()?;
+                    pl.finish_tree(minc < best_value)?;
+                    (minc, argmin, false)
+                }
+            };
+            if minc < best_value {
+                best_value = minc;
+                best_node = Some(argmin);
+                trees_to_best = packed;
+                // A structural tree that improves the bound snapshots
+                // itself inside `finish_tree`; a replayed one runs no
+                // phases, so the driver re-installs its snapshot after
+                // the loop (only if it is still the best).
+                snap = replayed.then(|| parents.clone());
+            }
+            if let Some(log) = log.as_deref_mut() {
+                log.trees.push((parents, (minc, argmin.raw())));
+            }
+        }
+        if let Some(parents) = &snap {
+            pl.install_snap(parents);
+        }
+    }
     while packed < opts.target.target(n, best_value) {
         pl.reset_tree();
         pl.mst_phase_a()?;
@@ -1565,6 +1991,9 @@ fn drive_packing(
             trees_to_best = packed;
         }
         pl.finish_tree(improved)?;
+        if let Some(log) = log.as_deref_mut() {
+            log.trees.push((pl.tree_parents(), (minc, argmin.raw())));
+        }
     }
     let side = pl.side(best_node, singleton)?;
     let cut = CutResult {

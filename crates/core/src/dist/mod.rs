@@ -60,4 +60,4 @@ pub use approx::{approx_mincut, ApproxConfig};
 pub use baselines::{gk_baseline, su_baseline, BaselineConfig};
 pub use driver::{exact_mincut, DistMinCutResult, ExactConfig};
 pub use mst::MstConfig;
-pub use recover::{recover_mincut, RecoverConfig, RecoveredMinCut};
+pub use recover::{recover_mincut, RecoverConfig, RecoveredMinCut, Stage};
