@@ -371,6 +371,23 @@ fn phase_lints(rel: &str, pieces: &[Piece], out: &mut Vec<Violation>) {
                             ),
                         });
                     }
+                } else if ends_with_word(&ctx, ".obs_emit(") {
+                    // An obs stage-marker event name. Event names share
+                    // the phase grammar and registry (the `transport`
+                    // stem exists for the executor's own events), so a
+                    // typo'd marker is caught exactly like a typo'd
+                    // phase.
+                    if !phase::is_registered(text) {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line: *line,
+                            rule: "phase-registry",
+                            msg: format!(
+                                "obs event name {text:?} is not grammar-valid with a stem \
+                                 registered in congest::phase::REGISTERED_STEMS"
+                            ),
+                        });
+                    }
                 } else if ends_with_word(&ctx, "_matching(")
                     || ends_with_word(&ctx, ".starts_with(")
                 {
@@ -739,12 +756,14 @@ mod tests {
                 let skip = format!("torus{side}x{side}");
                 ledger.messages_matching("s2");
                 ledger.messages_matching("zz.");
+                net.obs_emit("recover.checkpoint", 3);
+                net.obs_emit("chekpoint.resume", 3);
             }
         "#;
         let mut out = Vec::new();
         phase_lints("crates/core/src/x.rs", &lex(src), &mut out);
         let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
-        assert_eq!(lines, [4, 5, 9], "violations: {out:#?}");
+        assert_eq!(lines, [4, 5, 9, 11], "violations: {out:#?}");
         assert!(out.iter().all(|v| v.rule == "phase-registry"));
     }
 

@@ -14,4 +14,6 @@ pub fn drive(net: &mut Network, ledger: &Ledger) {
     // Ledger scans must query registered stems too: `recover.` matches
     // the recovery prefix, the typo'd `rezume.` matches nothing ever.
     let _scan = ledger.rounds_matching("rezume.");
+    // Obs stage markers share the registry: `bogus_evt` is no stem.
+    net.obs_emit("bogus_evt.checkpoint", 0);
 }

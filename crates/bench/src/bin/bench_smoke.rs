@@ -25,7 +25,8 @@
 //! both executor flavors; the release-mode CI job does, which is what
 //! regression-guards the slot-arena/parallel speedup.
 
-use congest::{ExecutorKind, MetricsLedger};
+use congest::obs::{CostCenter, Profile};
+use congest::{ExecutorKind, MetricsLedger, ObsHandle};
 use graphs::generators;
 use mincut::dist::driver::{exact_mincut, ExactConfig};
 use mincut::dist::{recover_mincut, RecoverConfig, Stage};
@@ -60,6 +61,11 @@ struct Sample {
     /// Deepest checkpoint the healed attempt resumed from (`None` on
     /// crash-free rows and from-scratch recoveries).
     resumed_from: Option<Stage>,
+    /// The obs cost-center/worker profile of the row (rows that attach
+    /// a sink: the faulty and chaos rows carry the transport cost
+    /// centers, the parallel rows the per-worker chunk utilization;
+    /// `None` on the undecorated serial baseline).
+    profile: Option<Profile>,
     ledger: MetricsLedger,
 }
 
@@ -90,7 +96,7 @@ fn run(
 ) -> Sample {
     // Fixed tree counts keep runs deterministic and fast; three trees is
     // enough to land the planted cut on both smoke families.
-    let cfg = ExactConfig {
+    let mut cfg = ExactConfig {
         packing: PackingConfig {
             size: PackingSize::Fixed(trees),
             max_trees: trees,
@@ -98,6 +104,12 @@ fn run(
         ..Default::default()
     }
     .with_executor(executor.1.clone());
+    // The serial rows stay undecorated — they are the wall-time
+    // baseline the other rows are compared against.
+    let obs = (!matches!(executor.1, ExecutorKind::Serial)).then(ObsHandle::new);
+    if let Some(handle) = &obs {
+        cfg = cfg.with_obs(handle.clone());
+    }
     let t = Instant::now();
     let r = exact_mincut(g, &cfg).expect("smoke instance must run");
     Sample {
@@ -116,6 +128,7 @@ fn run(
         wasted_rounds: Vec::new(),
         wasted_messages: Vec::new(),
         resumed_from: None,
+        profile: obs.map(|h| h.sink().profile()),
         ledger: r.ledger,
     }
 }
@@ -126,6 +139,7 @@ fn run(
 /// satellite tracks; `chaos_gate` budgets the same numbers on
 /// torus24x24.
 fn run_chaos(instance: &str, g: &graphs::WeightedGraph, trees: usize) -> Sample {
+    let obs = ObsHandle::new();
     let cfg = RecoverConfig {
         base: ExactConfig {
             packing: PackingConfig {
@@ -136,7 +150,8 @@ fn run_chaos(instance: &str, g: &graphs::WeightedGraph, trees: usize) -> Sample 
         },
         ..Default::default()
     }
-    .with_plan(mincut_bench::chaos_plan());
+    .with_plan(mincut_bench::chaos_plan())
+    .with_obs(obs.clone());
     let t = Instant::now();
     let r = recover_mincut(g, &cfg).expect("chaos instance must recover");
     Sample {
@@ -155,6 +170,7 @@ fn run_chaos(instance: &str, g: &graphs::WeightedGraph, trees: usize) -> Sample 
         wasted_rounds: r.wasted_rounds,
         wasted_messages: r.wasted_messages,
         resumed_from: r.resumed_from,
+        profile: Some(obs.sink().profile()),
         ledger: r.ledger,
     }
 }
@@ -215,9 +231,47 @@ fn main() {
             Some(Stage::Bfs) => "\"Bfs\"".to_string(),
             Some(Stage::Packed(k)) => format!("\"Packed({k})\""),
         };
+        // The transport cost centers (faulty/chaos rows: the profiler's
+        // attribution of the tick loop's wall time) and the per-worker
+        // chunk utilization (parallel rows) — `null` where the row's
+        // executor records neither.
+        let cost_centers = match &s.profile {
+            Some(p) if p.total_ns > 0 => {
+                let cells: Vec<String> = CostCenter::ALL
+                    .iter()
+                    .map(|&c| format!("\"{}\": {:.3}", c.label(), p.center_ns(c) as f64 / 1e6))
+                    .collect();
+                format!(
+                    "{{{}, \"total_ms\": {:.3}, \"coverage\": {:.3}}}",
+                    cells.join(", "),
+                    p.total_ns as f64 / 1e6,
+                    p.coverage()
+                )
+            }
+            _ => "null".to_string(),
+        };
+        let workers = match &s.profile {
+            Some(p) if !p.workers.is_empty() => {
+                let cells: Vec<String> = p
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"sweeps\": {}, \"chunks\": {}, \"nodes\": {}, \"busy_ms\": {:.3}}}",
+                            w.sweeps,
+                            w.chunks,
+                            w.nodes,
+                            w.busy_ns as f64 / 1e6
+                        )
+                    })
+                    .collect();
+                format!("[{}]", cells.join(", "))
+            }
+            _ => "null".to_string(),
+        };
         writeln!(
             json,
-            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"crashed\": [{}], \"recovery_rounds\": {}, \"recovery_msg_share\": {:.3}, \"wasted_rounds\": [{}], \"wasted_messages\": [{}], \"resumed_from\": {}, \"wall_ms\": {:.3}}}{sep}",
+            "    {{\"instance\": \"{}\", \"executor\": \"{}\", \"threads\": {}, \"n\": {}, \"rounds\": {}, \"phys_rounds\": {}, \"overhead\": {:.3}, \"messages\": {}, \"cut\": {}, \"crashed\": [{}], \"recovery_rounds\": {}, \"recovery_msg_share\": {:.3}, \"wasted_rounds\": [{}], \"wasted_messages\": [{}], \"resumed_from\": {}, \"cost_centers\": {}, \"workers\": {}, \"wall_ms\": {:.3}}}{sep}",
             s.instance,
             s.executor,
             s.threads,
@@ -233,6 +287,8 @@ fn main() {
             per_epoch(&s.wasted_rounds),
             per_epoch(&s.wasted_messages),
             resumed,
+            cost_centers,
+            workers,
             s.wall_ms
         )
         .expect("write to string");
@@ -306,6 +362,54 @@ fn main() {
             s.ledger.total_dropped(),
             s.ledger.total_retransmitted(),
             s.ledger.total_duplicated(),
+        );
+    }
+    // Where the *transport's* time goes: the profiler's top cost
+    // centers per faulty/chaos row, with the attributed share.
+    for s in &samples {
+        let Some(p) = s.profile.as_ref().filter(|p| p.total_ns > 0) else {
+            continue;
+        };
+        let mut centers: Vec<(CostCenter, u64)> = CostCenter::ALL
+            .iter()
+            .map(|&c| (c, p.center_ns(c)))
+            .collect();
+        centers.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        let top: Vec<String> = centers
+            .iter()
+            .take(3)
+            .map(|(c, ns)| {
+                format!(
+                    "{} {:.1}%",
+                    c.label(),
+                    100.0 * *ns as f64 / p.total_ns as f64
+                )
+            })
+            .collect();
+        println!(
+            "cost centers {} ({}): {} — {:.1}% attributed",
+            s.instance,
+            s.executor,
+            top.join(", "),
+            100.0 * p.coverage()
+        );
+    }
+    // How evenly the parallel sweep's chunk claiming spread the work.
+    for s in &samples {
+        let Some(p) = s.profile.as_ref().filter(|p| !p.workers.is_empty()) else {
+            continue;
+        };
+        let total_nodes: u64 = p.workers.iter().map(|w| w.nodes).sum();
+        let shares: Vec<String> = p
+            .workers
+            .iter()
+            .map(|w| format!("{:.1}%", 100.0 * w.nodes as f64 / total_nodes.max(1) as f64))
+            .collect();
+        println!(
+            "worker utilization {} ({}): nodes {}",
+            s.instance,
+            s.executor,
+            shares.join("/")
         );
     }
     // What healing costs: the chaos rows' crash + recovery accounting.

@@ -1,0 +1,162 @@
+//! CI trace gate + artifact: runs the self-healing chaos instance
+//! (torus24x24 under [`mincut_bench::chaos_plan`] — the lossy link
+//! adversary plus the leader kill) **twice**, first undecorated and
+//! then with a `congest::obs` sink attached, and enforces the
+//! observability layer's two hard contracts on the real pipeline:
+//!
+//! 1. **Zero observer effect** — the decorated run's outputs and full
+//!    [`congest::MetricsLedger`] (payload and transport counters
+//!    alike) are bit-identical to the undecorated run's;
+//! 2. **Profiler coverage** — the cost-center profile attributes at
+//!    least 90% of the faulty executor's wall time to named centers.
+//!
+//! It then exports the decorated run's Chrome trace, re-parses it with
+//! the strict in-tree JSON parser (a malformed exporter fails here,
+//! not in the Perfetto UI), checks every slice is a balanced `B`/`E`
+//! pair, and writes it to `TRACE_chaos_torus24x24.json` (override with
+//! `--out <path>`) — the artifact the large-n CI job uploads. Load it
+//! at <https://ui.perfetto.dev> for one track per phase stem plus the
+//! transport and recovery tracks.
+
+use congest::obs::{export_chrome_trace, json, CostCenter};
+use congest::{MetricsLedger, ObsHandle};
+use graphs::generators;
+use mincut::dist::{recover_mincut, ExactConfig, RecoverConfig, RecoveredMinCut};
+use mincut::seq::tree_packing::{PackingConfig, PackingSize};
+
+fn run(obs: Option<&ObsHandle>) -> (RecoveredMinCut, MetricsLedger) {
+    let g = generators::torus2d(24, 24).expect("valid torus");
+    let mut cfg = RecoverConfig {
+        base: ExactConfig {
+            packing: PackingConfig {
+                size: PackingSize::Fixed(3),
+                max_trees: 3,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_plan(mincut_bench::chaos_plan());
+    if let Some(handle) = obs {
+        cfg = cfg.with_obs(handle.clone());
+    }
+    let r = recover_mincut(&g, &cfg).expect("chaos instance must recover");
+    let ledger = r.ledger.clone();
+    (r, ledger)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out = String::from("TRACE_chaos_torus24x24.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out takes a path"),
+            other => {
+                eprintln!("unknown argument {other:?} (usage: trace_export [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The undecorated baseline, then the observed run. The two wall
+    // clocks quantify the cost of tracing on the real pipeline (the
+    // docs quote them; the hard contracts below don't depend on them).
+    let t = std::time::Instant::now();
+    let (plain, plain_ledger) = run(None);
+    let plain_ms = t.elapsed().as_secs_f64() * 1e3;
+    let obs = ObsHandle::new();
+    let t = std::time::Instant::now();
+    let (observed, observed_ledger) = run(Some(&obs));
+    let observed_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "wall clock: {plain_ms:.0} ms undecorated, {observed_ms:.0} ms observed ({:+.1}%)",
+        100.0 * (observed_ms - plain_ms) / plain_ms
+    );
+
+    // Contract 1: zero observer effect, bit for bit.
+    assert_eq!(
+        plain.cut.value, observed.cut.value,
+        "attaching a sink must not change the cut"
+    );
+    assert_eq!(
+        plain.cut.side, observed.cut.side,
+        "attaching a sink must not change the side"
+    );
+    assert_eq!(
+        plain_ledger.phases(),
+        observed_ledger.phases(),
+        "attaching a sink must leave the ledger bit-identical"
+    );
+    println!(
+        "observer effect: none ({} phases bit-identical, cut {})",
+        plain_ledger.phases().len(),
+        plain.cut.value
+    );
+
+    // Contract 2: the profiler attributes >= 90% of the faulty
+    // executor's wall time to named cost centers.
+    let profile = obs.sink().profile();
+    assert!(profile.total_ns > 0, "the faulty executor was profiled");
+    assert!(
+        profile.coverage() >= 0.9,
+        "cost centers attribute {:.1}% of wall time, need >= 90%",
+        100.0 * profile.coverage()
+    );
+    let mut centers: Vec<(CostCenter, u64)> = CostCenter::ALL
+        .iter()
+        .map(|&c| (c, profile.center_ns(c)))
+        .collect();
+    centers.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    println!(
+        "profiler: {:.1}% of {:.1} ms attributed — {}",
+        100.0 * profile.coverage(),
+        profile.total_ns as f64 / 1e6,
+        centers
+            .iter()
+            .filter(|&&(_, ns)| ns > 0)
+            .map(|(c, ns)| format!(
+                "{} {:.1}%",
+                c.label(),
+                100.0 * *ns as f64 / profile.total_ns as f64
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The artifact: export, strictly re-parse, check slice balance.
+    let trace = export_chrome_trace(obs.sink());
+    let root = json::parse(&trace).expect("exporter output must be strict JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("traceEvents array");
+    let mut depth: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+    let (mut slices, mut instants) = (0u64, 0u64);
+    for e in events {
+        let ph = e.get("ph").and_then(json::Value::as_str).expect("ph");
+        let tid = e.get("tid").and_then(json::Value::as_f64).unwrap_or(0.0) as u64;
+        match ph {
+            "B" => *depth.entry(tid).or_default() += 1,
+            "E" => {
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                assert!(*d >= 0, "E without a matching B on tid {tid}");
+                slices += 1;
+            }
+            "i" => instants += 1,
+            "M" => {}
+            other => panic!("unexpected phase type {other:?}"),
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced B/E pairs: {depth:?}"
+    );
+    let report = obs.sink().snapshot();
+    std::fs::write(&out, &trace).expect("write trace artifact");
+    println!(
+        "wrote {out}: {} events ({slices} phase slices, {instants} instants, {} dropped from the ring)",
+        events.len(),
+        report.dropped
+    );
+}

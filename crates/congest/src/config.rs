@@ -1,7 +1,8 @@
-//! Network configuration: bandwidth budget, enforcement policy, and the
-//! round executor.
+//! Network configuration: bandwidth budget, enforcement policy, the
+//! round executor, and the optional observability sink.
 
 use crate::executor::ExecutorKind;
+use crate::obs::ObsHandle;
 
 /// Configuration of a simulated CONGEST network.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +30,12 @@ pub struct NetworkConfig {
     /// way (the sweep code is shared); only wall time differs. `0`
     /// disables the fallback; the serial executor ignores this knob.
     pub parallel_inline_threshold: usize,
+    /// The observability sink this network records into (`None` — the
+    /// default — disables tracing entirely: no events, no clock reads,
+    /// no locking; ledger and outputs are byte-identical either way).
+    /// Several networks may share one handle — the recovery driver's
+    /// census networks do. Handle equality is sink identity.
+    pub obs: Option<ObsHandle>,
 }
 
 impl Default for NetworkConfig {
@@ -42,6 +49,7 @@ impl Default for NetworkConfig {
             max_rounds: 0,
             executor: ExecutorKind::Serial,
             parallel_inline_threshold: 1024,
+            obs: None,
         }
     }
 }
@@ -64,6 +72,15 @@ impl NetworkConfig {
     /// (shorthand for `with_executor(ExecutorKind::Faulty(plan))`).
     pub fn with_fault_plan(self, plan: crate::sim::FaultPlan) -> Self {
         self.with_executor(ExecutorKind::Faulty(plan))
+    }
+
+    /// This config recording into `handle`'s shared sink (see
+    /// [`crate::obs`]).
+    pub fn with_obs(self, handle: ObsHandle) -> Self {
+        NetworkConfig {
+            obs: Some(handle),
+            ..self
+        }
     }
 
     /// The per-edge budget in bits for an `n`-node network:

@@ -145,6 +145,27 @@ impl<'g> Network<'g> {
         self.bandwidth_bits
     }
 
+    /// The observability sink this network records into, if any.
+    pub fn obs(&self) -> Option<&crate::obs::ObsSink> {
+        self.config.obs.as_ref().map(|h| h.sink())
+    }
+
+    /// Records a stage marker into the attached sink (a no-op without
+    /// one): `name` must be grammar-valid with a registered stem — the
+    /// same contract phase names carry, enforced at pipeline call sites
+    /// by `congest_lint` — and `value` is free-form (an epoch, a tree
+    /// count, a checkpoint index). This is how the recovery driver
+    /// stamps checkpoint/resume/census progress into the event stream.
+    pub fn obs_emit(&self, name: &str, value: u64) {
+        debug_assert!(
+            crate::phase::is_valid_name(name),
+            "obs event name {name:?} violates the stem.sub grammar (see congest::phase)"
+        );
+        if let Some(sink) = self.obs() {
+            sink.emit(name, value);
+        }
+    }
+
     /// Runs one phase to completion: boots every node with its input,
     /// executes synchronous rounds until every node has halted, and returns
     /// per-node outputs plus metrics.
@@ -210,6 +231,8 @@ impl<'g> Network<'g> {
                 want: n,
             });
         }
+        let base_round = self.ledger.total_rounds();
+        let obs = self.obs();
         let spec = PhaseSpec {
             name,
             n,
@@ -222,30 +245,26 @@ impl<'g> Network<'g> {
             cap: self.config.effective_max_rounds(n),
             max_degree: self.max_degree,
             parallel_inline_threshold: self.config.parallel_inline_threshold,
-            base_round: self.ledger.total_rounds(),
+            base_round,
+            obs,
         };
-        // Wall-clock lives only in the ledger's side vector (and the
-        // optional trace line) — never inside the `Eq`-compared
-        // `PhaseMetrics`, so replay parity across executors is unaffected.
+        if let Some(sink) = obs {
+            sink.phase_begin(name, base_round);
+        }
+        // Wall-clock lives only in the ledger's side vector, the trace
+        // line, and the obs phase records — never inside the
+        // `Eq`-compared `PhaseMetrics` or the virtual event stream, so
+        // replay parity across executors and reruns is unaffected.
         let t = std::time::Instant::now();
         let (outputs, metrics) = executor.run_phase(&spec, algo, inputs)?;
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        if trace_enabled() {
-            eprintln!(
-                "congest-trace: {name} rounds={} msgs={} bits={} wall_ms={wall_ms:.2}",
-                metrics.rounds, metrics.messages, metrics.bits,
-            );
+        crate::obs::trace_phase_line(name, &metrics, wall_ms);
+        if let Some(sink) = obs {
+            sink.phase_end(metrics.rounds, metrics.ticks(), wall_ms);
         }
         self.ledger.push_timed(metrics.clone(), wall_ms);
         Ok(RunOutcome { outputs, metrics })
     }
-}
-
-/// Whether `CONGEST_TRACE` is set: per-phase wall-time lines on stderr,
-/// the poor-man's profiler for offline containers.
-fn trace_enabled() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| std::env::var_os("CONGEST_TRACE").is_some())
 }
 
 #[cfg(test)]

@@ -110,6 +110,10 @@ pub struct PhaseSpec<'a> {
     /// the *global* rounds of a [`crate::sim::CrashEvent`] schedule to
     /// this phase's local rounds. Fault-free executors ignore it.
     pub(crate) base_round: u64,
+    /// The observability sink of [`crate::NetworkConfig::obs`], if any
+    /// (`None` = tracing fully disabled; executors must not allocate,
+    /// lock, or read clocks on that path).
+    pub(crate) obs: Option<&'a crate::obs::ObsSink>,
 }
 
 impl PhaseSpec<'_> {
@@ -295,6 +299,10 @@ fn drive_phase<A: Algorithm>(
         );
         let halts = stats.halts;
         touched = absorb(&mut metrics, &mut live, &mut in_flight, stats)?;
+        if let Some(sink) = spec.obs {
+            // Fault-free executors: one physical tick per round.
+            sink.round_end(round, round);
+        }
         stale_halts += halts;
         if stale_halts * 4 >= live_list.len() {
             live_list.retain(|&v| !ps.nodes.get_exclusive(v as usize).halted);

@@ -267,12 +267,22 @@ pub(crate) fn execute_sweep<A: Algorithm>(
             let claimer = ChunkClaimer { chunk, len };
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
+                let (claimer, cursor) = (&claimer, &cursor);
                 let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
+                    .map(|widx| {
+                        scope.spawn(move || {
+                            // Worker utilization is a host measurement:
+                            // chunk claiming races by design, so these
+                            // numbers go to the obs profile only, never
+                            // the deterministic stats or event stream.
+                            let obs = ps.spec.obs;
+                            let span = crate::obs::worker_begin(obs);
+                            let (mut chunks, mut nodes) = (0u64, 0u64);
                             let mut stats = SweepStats::default();
                             let mut scratch = Vec::with_capacity(ps.spec.max_degree);
-                            while let Some(range) = claimer.claim(&cursor) {
+                            while let Some(range) = claimer.claim(cursor) {
+                                chunks += 1;
+                                nodes += range.len() as u64;
                                 run_nodes(
                                     ps,
                                     sweep,
@@ -283,6 +293,7 @@ pub(crate) fn execute_sweep<A: Algorithm>(
                                     &mut stats,
                                 );
                             }
+                            crate::obs::worker_end(obs, span, widx, chunks, nodes);
                             stats
                         })
                     })

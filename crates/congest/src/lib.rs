@@ -65,6 +65,7 @@ pub mod executor;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod phase;
 pub mod primitives;
 pub mod sim;
@@ -77,4 +78,5 @@ pub use executor::{ExecutorKind, ParallelExecutor, RoundExecutor, SerialExecutor
 pub use message::{id_bits, value_bits, Message};
 pub use metrics::{MetricsLedger, PhaseGroup, PhaseMetrics, SimPhaseStats};
 pub use node::{NeighborInfo, NodeCtx, Port, TreeInfo};
+pub use obs::{ObsHandle, ObsReport, ObsSink, PhaseSummary};
 pub use sim::{CrashEvent, FaultPlan, FaultyExecutor, PartitionEvent, SuspicionPolicy};

@@ -27,6 +27,16 @@ pub struct PhaseMetrics {
     pub sim: SimPhaseStats,
 }
 
+impl PhaseMetrics {
+    /// The physical ticks this phase consumed: its synchronizer ticks
+    /// under the faulty executor, one tick per round otherwise. This is
+    /// the tick extent the obs layer stamps phase records with (and the
+    /// per-phase term of [`MetricsLedger::total_phys_rounds`]).
+    pub fn ticks(&self) -> u64 {
+        self.sim.phys_rounds.max(self.rounds)
+    }
+}
+
 /// What the α-synchronizer of [`crate::sim::FaultyExecutor`] did under
 /// the hood of one phase: the physical network ticks it spent, the
 /// frames it moved, and the faults the adversary injected. The
@@ -213,10 +223,7 @@ impl MetricsLedger {
     /// (one tick per round). Dividing by [`MetricsLedger::total_rounds`]
     /// yields the session's synchronizer round-overhead factor.
     pub fn total_phys_rounds(&self) -> u64 {
-        self.phases
-            .iter()
-            .map(|p| p.sim.phys_rounds.max(p.rounds))
-            .sum()
+        self.phases.iter().map(PhaseMetrics::ticks).sum()
     }
 
     /// The session's synchronizer round-overhead factor:

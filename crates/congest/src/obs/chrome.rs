@@ -1,0 +1,279 @@
+//! Chrome trace-event JSON export (the format `chrome://tracing` and
+//! Perfetto load).
+//!
+//! Layout: one track (tid) per phase *stem* in first-appearance order,
+//! carrying a balanced `"B"`/`"E"` duration pair per phase whose span
+//! is the phase's measured wall time — so the per-stem duration sums
+//! equal [`crate::MetricsLedger::wall_ms_of_stem`] by construction.
+//! Two dedicated tracks carry instants: `transport` (tid 1000) for the
+//! frame lifecycle and `recovery` (tid 1001) for stage markers. An
+//! instant's timestamp is its physical tick mapped linearly into the
+//! owning phase's wall-clock window — virtual placement is exact,
+//! wall-clock placement is an interpolation.
+//!
+//! Ring overwrites are never silent: the `otherData.droppedEvents`
+//! field carries the overwrite count.
+
+use super::event::{EventKind, NONE};
+use super::json::escape;
+use super::{ObsReport, ObsSink};
+use std::fmt::Write as _;
+
+/// The tid of the transport-instant track.
+const TID_TRANSPORT: u32 = 1000;
+/// The tid of the recovery/stage-instant track.
+const TID_RECOVERY: u32 = 1001;
+/// Phase-stem tracks start here (tid 0/1 read oddly in viewers).
+const TID_STEM_BASE: u32 = 2;
+
+/// Exports everything `sink` recorded as a Chrome trace-event JSON
+/// document (timestamps in microseconds, as the format requires).
+pub fn export_chrome_trace(sink: &ObsSink) -> String {
+    let report = sink.snapshot();
+    render(&report)
+}
+
+fn render(r: &ObsReport) -> String {
+    // Stem → tid, in order of first appearance among the phases (every
+    // track-bearing event references a phase record, so this table is
+    // complete up front).
+    let mut stems: Vec<&str> = Vec::new();
+    for p in &r.phases {
+        let s = crate::phase::stem_of(&p.name);
+        if !stems.contains(&s) {
+            stems.push(s);
+        }
+    }
+    let stem_tid = |name: &str| -> u32 {
+        let stem = crate::phase::stem_of(name);
+        TID_STEM_BASE + stems.iter().position(|s| *s == stem).unwrap_or(0) as u32
+    };
+
+    // Wall-clock windows (µs): phase i spans begin[i]..begin[i]+dur[i],
+    // laid end to end in execution order.
+    let mut begin_us = Vec::with_capacity(r.phases.len());
+    let mut cursor = 0.0f64;
+    for p in &r.phases {
+        begin_us.push(cursor);
+        cursor += p.wall_ms * 1000.0;
+    }
+    let window = |phase: u32, tick: u64| -> f64 {
+        let Some(p) = r.phases.get(phase as usize) else {
+            return 0.0;
+        };
+        let dur = p.wall_ms * 1000.0;
+        let frac = tick as f64 / p.ticks.max(1) as f64;
+        begin_us[phase as usize] + dur * frac.min(1.0)
+    };
+
+    let mut ev = Vec::<String>::new();
+
+    // Phase duration pairs, one B/E per record — balanced by
+    // construction, durations exactly the ledger's wall times.
+    for (i, p) in r.phases.iter().enumerate() {
+        let tid = stem_tid(&p.name);
+        let b = begin_us[i];
+        let e = b + p.wall_ms * 1000.0;
+        let name = escape(&p.name);
+        ev.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"phase\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{b:.3},\
+             \"args\":{{\"rounds\":{},\"ticks\":{}}}}}",
+            p.rounds, p.ticks
+        ));
+        ev.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"phase\",\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{e:.3}}}"
+        ));
+    }
+
+    let mut saw_transport = false;
+    let mut saw_recovery = false;
+    for e in &r.events {
+        match e.kind {
+            EventKind::PhaseBegin | EventKind::PhaseEnd => {} // covered by the pairs above
+            EventKind::RoundEnd => {
+                let Some(p) = r.phases.get(e.phase as usize) else {
+                    continue;
+                };
+                let tid = stem_tid(&p.name);
+                let ts = window(e.phase, e.tick);
+                ev.push(format!(
+                    "{{\"name\":\"round_end\",\"cat\":\"round\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{tid},\"ts\":{ts:.3},\"args\":{{\"round\":{},\"tick\":{}}}}}",
+                    e.round, e.tick
+                ));
+            }
+            EventKind::Stage => {
+                saw_recovery = true;
+                let ts = window(e.phase, e.tick);
+                let name = escape(r.label_of(e).unwrap_or("stage"));
+                ev.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"recovery\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\
+                     \"tid\":{TID_RECOVERY},\"ts\":{ts:.3},\"args\":{{\"value\":{}}}}}",
+                    e.round
+                ));
+            }
+            kind => {
+                saw_transport = true;
+                let ts = window(e.phase, e.tick);
+                let name = escape(kind.wire_name());
+                let opt = |v: u32| -> String {
+                    if v == NONE {
+                        "null".to_string()
+                    } else {
+                        v.to_string()
+                    }
+                };
+                ev.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"transport\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{TID_TRANSPORT},\"ts\":{ts:.3},\
+                     \"args\":{{\"a\":{},\"b\":{},\"round\":{},\"tick\":{}}}}}",
+                    opt(e.a),
+                    opt(e.b),
+                    e.round,
+                    e.tick
+                ));
+            }
+        }
+    }
+
+    // Track-name metadata (ph "M"), emitted first so viewers label
+    // every track they are about to see.
+    let mut meta = Vec::<String>::new();
+    for (i, stem) in stems.iter().enumerate() {
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            TID_STEM_BASE + i as u32,
+            escape(stem)
+        ));
+    }
+    if saw_transport {
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{TID_TRANSPORT},\
+             \"args\":{{\"name\":\"transport\"}}}}"
+        ));
+    }
+    if saw_recovery {
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{TID_RECOVERY},\
+             \"args\":{{\"name\":\"recovery\"}}}}"
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    for (i, line) in meta.iter().chain(ev.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(line);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",");
+    let _ = write!(
+        out,
+        "\"otherData\":{{\"droppedEvents\":{},\"retainedEvents\":{}}}}}",
+        r.dropped,
+        r.events.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::{parse, Value};
+    use super::super::{EventKind, ObsHandle, NONE};
+    use super::*;
+
+    fn feed() -> ObsHandle {
+        let h = ObsHandle::new();
+        h.phase_begin("leader_bfs", 0);
+        h.phase_end(10, 10, 2.0);
+        h.phase_begin("mstA.l0.cd", 10);
+        h.record(EventKind::FrameSend, 0, 1, 1, 3);
+        h.record(EventKind::FrameDrop, 1, 0, 1, 4);
+        h.phase_end(5, 20, 1.0);
+        h.phase_begin("mstA.l1.cd", 15);
+        h.emit("recover.checkpoint", 2);
+        h.phase_end(5, 20, 3.0);
+        h
+    }
+
+    #[test]
+    fn export_parses_and_pairs_balance() {
+        let h = feed();
+        let doc = parse(&export_chrome_trace(&h)).expect("exported JSON parses");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let phs = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(p))
+                .count()
+        };
+        assert_eq!(phs("B"), 3);
+        assert_eq!(phs("E"), 3);
+        assert_eq!(phs("i"), 3, "two transport instants + one stage");
+        assert!(phs("M") >= 2, "stem tracks are named");
+        assert_eq!(
+            doc.get("otherData").unwrap().get("droppedEvents"),
+            Some(&Value::Num(0.0))
+        );
+    }
+
+    #[test]
+    fn stem_durations_sum_to_the_recorded_walls() {
+        let h = feed();
+        let doc = parse(&export_chrome_trace(&h)).expect("parses");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // Sum E.ts - B.ts per tid; mstA's two phases share one track.
+        let mut per_tid: std::collections::BTreeMap<u64, f64> = Default::default();
+        let mut open: std::collections::BTreeMap<u64, f64> = Default::default();
+        for e in events {
+            let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+            if ph != "B" && ph != "E" {
+                continue;
+            }
+            let tid = e.get("tid").and_then(Value::as_f64).unwrap() as u64;
+            let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+            if ph == "B" {
+                open.insert(tid, ts);
+            } else {
+                let b = open.remove(&tid).expect("E pairs with an open B");
+                *per_tid.entry(tid).or_default() += ts - b;
+            }
+        }
+        assert!(open.is_empty(), "every B is closed");
+        let sums: Vec<f64> = per_tid.values().copied().collect();
+        assert!((sums[0] - 2000.0).abs() < 1e-6, "leader_bfs = 2 ms");
+        assert!((sums[1] - 4000.0).abs() < 1e-6, "mstA = 1 + 3 ms");
+    }
+
+    #[test]
+    fn instants_land_inside_their_phase_window() {
+        let h = feed();
+        let doc = parse(&export_chrome_trace(&h)).expect("parses");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        for e in events {
+            if e.get("cat").and_then(Value::as_str) != Some("transport") {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+            // mstA.l0.cd spans 2000..3000 µs.
+            assert!((2000.0..=3000.0).contains(&ts), "ts = {ts}");
+        }
+    }
+
+    #[test]
+    fn out_of_phase_events_fall_back_to_time_zero() {
+        let h = ObsHandle::new();
+        h.record(EventKind::Crash, 3, NONE, 0, 0);
+        let doc = parse(&export_chrome_trace(&h)).expect("parses");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let crash = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Value::as_str) == Some("transport"))
+            .expect("crash instant exported");
+        assert_eq!(crash.get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(crash.get("args").unwrap().get("b"), Some(&Value::Null));
+    }
+}

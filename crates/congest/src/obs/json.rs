@@ -1,0 +1,325 @@
+//! A minimal JSON reader for validating exported traces.
+//!
+//! The workspace is offline (no serde_json); the exporters hand-write
+//! their JSON and this module is the independent check that what they
+//! wrote actually parses — used by the exporter tests and the
+//! `trace_export` gate. It is a strict recursive-descent parser over
+//! the JSON grammar (objects, arrays, strings with the standard
+//! escapes, f64 numbers, booleans, null); it is *not* a general-purpose
+//! deserializer.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys are kept in a [`BTreeMap`]
+/// (deterministic iteration; duplicate keys keep the last value, as
+/// most real readers do).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items (`None` for non-arrays).
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number (`None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `src` as one JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with a byte offset) of the
+/// first syntax error; trailing non-whitespace after the document is an
+/// error too.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("expected {lit:?} at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        // Unpaired surrogates degrade to the replacement
+                        // character — the exporters never emit them.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                }
+            }
+            Some(&c) if c < 0x20 => return Err(format!("raw control byte at {}", *pos)),
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one multi-byte UTF-8 scalar verbatim, validating
+                // only its own (≤ 4-byte) window — validating the whole
+                // remaining input here would make string parsing
+                // quadratic in the document size.
+                let end = (*pos + 4).min(b.len());
+                let ch = match std::str::from_utf8(&b[*pos..end]) {
+                    Ok(s) => s.chars().next(),
+                    // A valid scalar truncated by the window still
+                    // decodes from the prefix before the error offset.
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&b[*pos..*pos + e.valid_up_to()])
+                            .expect("valid prefix")
+                            .chars()
+                            .next()
+                    }
+                    Err(_) => None,
+                };
+                let ch = ch.ok_or_else(|| format!("invalid utf-8 in string at {}", *pos))?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included) — the writer-side helper the exporters share.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_trace_shaped_document() {
+        let src = r#"{"traceEvents":[{"name":"mstA.l0.cd","ph":"B","pid":1,"tid":2,"ts":12.5},
+            {"name":"mstA.l0.cd","ph":"E","pid":1,"tid":2,"ts":99}],
+            "displayTimeUnit":"ms","meta":{"dropped":0,"ok":true,"none":null}}"#;
+        let v = parse(src).expect("parses");
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("B"));
+        assert_eq!(events[0].get("ts").and_then(Value::as_f64), Some(12.5));
+        assert_eq!(v.get("meta").unwrap().get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("meta").unwrap().get("none"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f→";
+        let doc = format!("[\"{}\"]", escape(nasty));
+        let v = parse(&doc).expect("escaped string parses");
+        assert_eq!(v.as_arr().unwrap()[0].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "[1 2]",
+            "tru",
+            "\"unterminated",
+            "1e",
+            "[]x",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_with_signs_and_exponents() {
+        assert_eq!(parse("-12.5e2").unwrap().as_f64(), Some(-1250.0));
+        assert_eq!(parse("0").unwrap().as_f64(), Some(0.0));
+    }
+}

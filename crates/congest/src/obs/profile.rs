@@ -1,0 +1,300 @@
+//! The in-process profiler: tick-loop cost centers of the faulty
+//! executor and per-worker chunk utilization of the parallel executor.
+//!
+//! The replay-exact paths (`sim/`, `dist/`) are forbidden from naming
+//! wall-clock types (the `determinism` lint), so all timing flows
+//! through the opaque [`CcToken`] and the free functions here:
+//! [`cc_begin`] captures a timestamp only when a sink is attached, and
+//! the matching `cc_end*` call attributes the elapsed nanoseconds to a
+//! [`CostCenter`]. With no sink attached every call is a branch on a
+//! `None` — the zero-cost-when-disabled half of the obs contract.
+//!
+//! Profile numbers are **host measurements**: they are excluded from
+//! the deterministic virtual-event stream and exist to answer "where
+//! does the wall time go" (the transport-sharding and worker-pool
+//! ROADMAP items), not to be replayed.
+
+use super::ObsSink;
+use std::time::Instant;
+
+/// A named slice of the faulty executor's tick loop (plus the shared
+/// boot/finish sweeps). Together the centers cover the loop wall-to-wall;
+/// `trace_export` asserts the attributed share stays ≥ 90%.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CostCenter {
+    /// The boot sweep: every node's `boot` plus first-frame scheduling.
+    Boot,
+    /// Arrival processing: draining the tick's calendar slot, checksum
+    /// verification, and the seq/cumulative-ack window bookkeeping of
+    /// [`crate::sim::FaultyExecutor`]'s stop-and-wait channels.
+    AckBookkeeping,
+    /// Stepping the nodes whose round inputs are complete (the
+    /// algorithm's own `round` code under the synchronizer).
+    Execute,
+    /// The per-tick scan over all directed channels deciding what each
+    /// one transmits (excluding the retransmission sends, split out
+    /// below).
+    ChannelScan,
+    /// Timeout-driven payload retransmissions — the slice of
+    /// [`CostCenter::ChannelScan`] spent re-sending.
+    Retransmit,
+    /// Keepalive traffic on otherwise-silent channels (failure-detector
+    /// liveness gossip).
+    SafetyGossip,
+    /// The failure detector's silence scan and suspicion bookkeeping.
+    Detector,
+    /// The finish sweep: per-node `finish` and output collection.
+    Finish,
+    /// Everything else the loop does per tick: partition-window
+    /// scheduling, error wind-down, completion checks.
+    Bookkeeping,
+}
+
+impl CostCenter {
+    /// Every center, in reporting order.
+    pub const ALL: [CostCenter; 9] = [
+        CostCenter::Boot,
+        CostCenter::AckBookkeeping,
+        CostCenter::Execute,
+        CostCenter::ChannelScan,
+        CostCenter::Retransmit,
+        CostCenter::SafetyGossip,
+        CostCenter::Detector,
+        CostCenter::Finish,
+        CostCenter::Bookkeeping,
+    ];
+
+    /// The center's stable snake_case report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCenter::Boot => "boot",
+            CostCenter::AckBookkeeping => "ack_bookkeeping",
+            CostCenter::Execute => "execute",
+            CostCenter::ChannelScan => "channel_scan",
+            CostCenter::Retransmit => "retransmit",
+            CostCenter::SafetyGossip => "safety_gossip",
+            CostCenter::Detector => "detector",
+            CostCenter::Finish => "finish",
+            CostCenter::Bookkeeping => "bookkeeping",
+        }
+    }
+
+    fn index(self) -> usize {
+        CostCenter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every center is listed in ALL")
+    }
+}
+
+/// One parallel-executor worker's lifetime totals (accumulated across
+/// every sweep the phase ran). Chunk claiming is an atomic-cursor race,
+/// so these numbers are honest host measurements — per-worker splits
+/// vary run to run even though the merged results never do.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Sweeps this worker participated in.
+    pub sweeps: u64,
+    /// Chunks claimed from the sweep cursors.
+    pub chunks: u64,
+    /// Domain positions (nodes) executed.
+    pub nodes: u64,
+    /// Nanoseconds spent inside sweep loops (claim + run, not spawn).
+    pub busy_ns: u64,
+}
+
+/// The aggregated profile of one sink: cost-center nanoseconds, the
+/// total span they are measured against, and per-worker utilization.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    centers: [u64; CostCenter::ALL.len()],
+    /// Total nanoseconds of the measured executor spans (the
+    /// denominator of [`Profile::coverage`]).
+    pub total_ns: u64,
+    /// Per-worker utilization of the parallel executor, indexed by
+    /// worker (empty unless a parallel phase ran under this sink).
+    pub workers: Vec<WorkerStat>,
+}
+
+impl Profile {
+    /// Nanoseconds attributed to `center`.
+    pub fn center_ns(&self, center: CostCenter) -> u64 {
+        self.centers[center.index()]
+    }
+
+    /// Nanoseconds attributed to any named center.
+    pub fn attributed_ns(&self) -> u64 {
+        self.centers.iter().sum()
+    }
+
+    /// The attributed share of the measured total, in `0.0..=1.0`
+    /// (1.0 when nothing was measured). The acceptance bar for the
+    /// faulty executor is ≥ 0.9.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 1.0;
+        }
+        (self.attributed_ns() as f64 / self.total_ns as f64).min(1.0)
+    }
+
+    pub(crate) fn add(&mut self, center: CostCenter, ns: u64) {
+        self.centers[center.index()] += ns;
+    }
+
+    pub(crate) fn note_worker(&mut self, worker: usize, chunks: u64, nodes: u64, busy_ns: u64) {
+        if self.workers.len() <= worker {
+            self.workers.resize(worker + 1, WorkerStat::default());
+        }
+        let w = &mut self.workers[worker];
+        w.sweeps += 1;
+        w.chunks += chunks;
+        w.nodes += nodes;
+        w.busy_ns += busy_ns;
+    }
+}
+
+/// An opaque in-flight timing span: a timestamp when a sink is
+/// attached, nothing otherwise. Obtained from [`cc_begin`] /
+/// [`total_begin`] / [`worker_begin`] and consumed by the matching
+/// `*_end` call. Deliberately opaque so replay-exact code never names
+/// a clock type.
+#[derive(Copy, Clone, Debug)]
+pub struct CcToken(Option<Instant>);
+
+impl CcToken {
+    fn elapsed_ns(self) -> u64 {
+        self.0
+            .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Opens a cost-center span (no-op without a sink).
+pub fn cc_begin(obs: Option<&ObsSink>) -> CcToken {
+    CcToken(obs.map(|_| Instant::now()))
+}
+
+/// Closes `token`, attributing its span to `center`; returns the span
+/// in nanoseconds (0 without a sink).
+pub fn cc_end(obs: Option<&ObsSink>, token: CcToken, center: CostCenter) -> u64 {
+    let ns = token.elapsed_ns();
+    if let Some(sink) = obs {
+        if ns > 0 {
+            sink.add_cc(center, ns);
+        }
+    }
+    ns
+}
+
+/// Closes `token`, attributing its span **minus** `minus_ns` to
+/// `center` — for spans whose interior was already attributed elsewhere
+/// (the retransmission slice inside the channel scan). Returns the full
+/// span in nanoseconds.
+pub fn cc_end_split(
+    obs: Option<&ObsSink>,
+    token: CcToken,
+    center: CostCenter,
+    minus_ns: u64,
+) -> u64 {
+    let ns = token.elapsed_ns();
+    if let Some(sink) = obs {
+        let own = ns.saturating_sub(minus_ns);
+        if own > 0 {
+            sink.add_cc(center, own);
+        }
+    }
+    ns
+}
+
+/// Opens the whole-run span the centers are measured against.
+pub fn total_begin(obs: Option<&ObsSink>) -> CcToken {
+    cc_begin(obs)
+}
+
+/// Closes the whole-run span opened by [`total_begin`].
+pub fn total_end(obs: Option<&ObsSink>, token: CcToken) {
+    let ns = token.elapsed_ns();
+    if let Some(sink) = obs {
+        if ns > 0 {
+            sink.add_total(ns);
+        }
+    }
+}
+
+/// Opens one worker's sweep span (parallel executor).
+pub fn worker_begin(obs: Option<&ObsSink>) -> CcToken {
+    cc_begin(obs)
+}
+
+/// Closes a worker sweep span, crediting `worker` with the chunks and
+/// nodes it processed.
+pub fn worker_end(obs: Option<&ObsSink>, token: CcToken, worker: usize, chunks: u64, nodes: u64) {
+    let ns = token.elapsed_ns();
+    if let Some(sink) = obs {
+        sink.note_worker(worker, chunks, nodes, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_ordered_like_all() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in CostCenter::ALL {
+            assert!(seen.insert(c.label()), "duplicate label {c:?}");
+        }
+        assert_eq!(CostCenter::Boot.index(), 0);
+        assert_eq!(CostCenter::Bookkeeping.index(), CostCenter::ALL.len() - 1);
+    }
+
+    #[test]
+    fn empty_profile_has_full_coverage() {
+        let p = Profile::default();
+        assert_eq!(p.attributed_ns(), 0);
+        assert_eq!(p.coverage(), 1.0);
+    }
+
+    #[test]
+    fn coverage_is_the_attributed_share() {
+        let mut p = Profile {
+            total_ns: 1000,
+            ..Profile::default()
+        };
+        p.add(CostCenter::ChannelScan, 600);
+        p.add(CostCenter::Retransmit, 300);
+        assert_eq!(p.center_ns(CostCenter::ChannelScan), 600);
+        assert_eq!(p.attributed_ns(), 900);
+        assert!((p.coverage() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_tokens_cost_nothing_and_measure_nothing() {
+        let t = cc_begin(None);
+        assert_eq!(cc_end(None, t, CostCenter::Execute), 0);
+        assert_eq!(cc_end_split(None, t, CostCenter::ChannelScan, 5), 0);
+        total_end(None, total_begin(None));
+        worker_end(None, worker_begin(None), 3, 1, 1);
+    }
+
+    #[test]
+    fn worker_stats_accumulate_by_index() {
+        let mut p = Profile::default();
+        p.note_worker(2, 3, 40, 100);
+        p.note_worker(2, 1, 10, 50);
+        p.note_worker(0, 2, 20, 30);
+        assert_eq!(p.workers.len(), 3);
+        assert_eq!(
+            p.workers[2],
+            WorkerStat {
+                sweeps: 2,
+                chunks: 4,
+                nodes: 50,
+                busy_ns: 150
+            }
+        );
+        assert_eq!(p.workers[1], WorkerStat::default());
+        assert_eq!(p.workers[0].nodes, 20);
+    }
+}

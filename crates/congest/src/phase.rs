@@ -72,6 +72,12 @@ pub const REGISTERED_STEMS: &[&str] = &[
     // node can die mid-census) and the rejoin handshake
     // (`census.e{epoch}.join`).
     "census",
+    // The observability layer's frame-lifecycle events
+    // (`transport.send`, `transport.drop`, … — see
+    // `congest::obs::EventKind::wire_name`). Not a pipeline phase, but
+    // event names share the phase grammar and registry so the static
+    // lint catches typo'd obs events exactly like typo'd phases.
+    "transport",
 ];
 
 /// Is `segment` one grammar segment: `[A-Za-z][A-Za-z0-9_]*`, at most
@@ -123,6 +129,7 @@ mod tests {
             "recover.e1.resume.bfs",
             "census.e1.r1",
             "census.e2.join",
+            "transport.retransmit",
         ] {
             assert!(is_valid_name(name), "{name} must parse");
             assert!(is_registered(name), "{name} must be registered");

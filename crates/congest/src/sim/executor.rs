@@ -83,6 +83,7 @@ use crate::executor::{PhaseSpec, RoundExecutor};
 use crate::message::Message;
 use crate::metrics::{PhaseMetrics, SimPhaseStats};
 use crate::node::Port;
+use crate::obs::{self, CostCenter, EventKind};
 use crate::sim::plan::{FaultPlan, SuspicionPolicy};
 use graphs::NodeId;
 use std::collections::BTreeMap;
@@ -116,7 +117,11 @@ impl RoundExecutor for FaultyExecutor {
         algo: &A,
         inputs: Vec<A::Input>,
     ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
-        Machine::new(&self.plan, spec, algo).run(inputs)
+        let sink = spec.obs;
+        let total = obs::total_begin(sink);
+        let out = Machine::new(&self.plan, spec, algo).run(inputs);
+        obs::total_end(sink, total);
+        out
     }
 }
 
@@ -294,6 +299,14 @@ struct Machine<'a, A: Algorithm> {
     /// Salt of the per-phase frame checksum (a hash of the phase name,
     /// so identical control fields in different phases checksum apart).
     phase_salt: u64,
+    /// The tick currently executing, mirrored from the main loop so
+    /// event emitters called without a tick argument (crash, round
+    /// completion) can stamp their events (0 during boot).
+    cur_tick: u64,
+    /// Wall time the current [`Machine::transmit`] sweep spent inside
+    /// retransmissions, so the channel-scan cost center can be reported
+    /// net of the nested retransmit one (always 0 with obs detached).
+    retrans_ns: u64,
 }
 
 impl<'a, A: Algorithm> Machine<'a, A> {
@@ -362,6 +375,16 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 .name
                 .bytes()
                 .fold(plan.seed, |h, b| splitmix64(h ^ u64::from(b))),
+            cur_tick: 0,
+            retrans_ns: 0,
+        }
+    }
+
+    /// Records one transport-lifecycle event on the attached obs sink
+    /// (a no-op — not even an `Instant` read — when none is attached).
+    fn obs_event(&self, kind: EventKind, a: u32, b: u32, round: u64, tick: u64) {
+        if let Some(sink) = self.spec.obs {
+            sink.record(kind, a, b, round, tick);
         }
     }
 
@@ -408,8 +431,30 @@ impl<'a, A: Algorithm> Machine<'a, A> {
     /// the opening tick.
     fn open_partitions(&mut self, tick: u64) {
         for (i, w) in self.plan.partitions.iter().enumerate() {
-            if self.part_onset[i].is_none() && self.spec.base_round + self.max_round >= w.at_round {
-                self.part_onset[i] = Some(tick);
+            match self.part_onset[i] {
+                None if self.spec.base_round + self.max_round >= w.at_round => {
+                    self.part_onset[i] = Some(tick);
+                    self.obs_event(
+                        EventKind::PartitionOpen,
+                        i as u32,
+                        obs::NONE,
+                        w.at_round,
+                        tick,
+                    );
+                }
+                // The window heals implicitly at `t0 + heal_at`; this is
+                // the first tick the cut is conductive again, observable
+                // only to the trace (nothing else runs at the boundary).
+                Some(t0) if tick == t0 + w.heal_at => {
+                    self.obs_event(
+                        EventKind::PartitionHeal,
+                        i as u32,
+                        obs::NONE,
+                        w.at_round,
+                        tick,
+                    );
+                }
+                _ => {}
             }
         }
     }
@@ -645,6 +690,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             "crashes happen at round boundaries"
         );
         self.crashed[v] = true;
+        self.obs_event(
+            EventKind::Crash,
+            v as u32,
+            obs::NONE,
+            self.nodes[v].round,
+            self.cur_tick,
+        );
         if !self.nodes[v].halted {
             self.nodes[v].halted = true;
             self.live -= 1;
@@ -684,7 +736,15 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let step = algo.round(&mut state, &ctx, &inbox);
             self.nodes[v].state = Some(state);
             self.nodes[v].round = q;
-            self.max_round = self.max_round.max(q);
+            if q > self.max_round {
+                self.max_round = q;
+                // The network-wide virtual clock advanced: one RoundEnd
+                // per virtual round, stamped with the physical tick that
+                // first reached it.
+                if let Some(sink) = self.spec.obs {
+                    sink.round_end(q, self.cur_tick);
+                }
+            }
             let outbox = match step {
                 Step::Continue(o) => o,
                 Step::Halt(o) => {
@@ -755,6 +815,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             .as_ref()
             .is_some_and(|dt| dt.seq <= f.ack_seq);
         if acked {
+            self.obs_event(
+                EventKind::FrameAck,
+                v as u32,
+                self.sender(d) as u32,
+                self.nodes[v].round,
+                self.cur_tick,
+            );
             self.tx[out].data = None;
             self.tx[out].attempts = 0;
             self.nodes[v].unacked -= 1;
@@ -833,7 +900,15 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let needs_safety = !peer_done && t.peer_safe_seen < self.nodes[u].safe;
             let safety_due = needs_safety && (t.dirty || tick >= t.last_send + timeout);
             if data_due || safety_due || t.dirty {
+                // A scheduled send of an already-attempted payload is a
+                // retransmission: time it separately so the enclosing
+                // channel-scan span can report itself net of it.
+                let retrans = data_due && t.attempts > 0;
+                let span = obs::cc_begin(if retrans { self.spec.obs } else { None });
                 self.send_frame(d, tick, needs_safety, data_due);
+                if retrans {
+                    self.retrans_ns += obs::cc_end(self.spec.obs, span, CostCenter::Retransmit);
+                }
             }
             // Stays active while something remains unconfirmed (data
             // unacked or safety unechoed); throttled by the timeout.
@@ -878,6 +953,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             if tick < self.tx[d].last_send + timeout {
                 continue;
             }
+            self.obs_event(
+                EventKind::Keepalive,
+                u as u32,
+                self.slot_owner[d],
+                self.max_round,
+                tick,
+            );
             self.send_frame(d, tick, false, false);
         }
     }
@@ -921,6 +1003,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             let u = self.sender(d);
             self.suspected[d] = true;
             self.sim.suspicions += 1;
+            self.obs_event(
+                EventKind::Suspect,
+                v as u32,
+                u as u32,
+                self.spec.base_round + self.max_round,
+                tick,
+            );
             if !self.crashed[u] {
                 // Ground truth from the plan: the suspect lives. The
                 // detector will rehabilitate it on its next frame.
@@ -994,6 +1083,14 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 self.tx[d].attempts += 1;
                 if self.tx[d].attempts > 1 {
                     self.sim.retransmitted += 1;
+                    let round = self.tx[d].data.as_ref().map_or(0, |dt| dt.round);
+                    self.obs_event(
+                        EventKind::FrameRetransmit,
+                        u as u32,
+                        self.slot_owner[d],
+                        round,
+                        tick,
+                    );
                 }
             }
             self.sim.data_frames += 1;
@@ -1036,15 +1133,40 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             self.sim.partitioned += 1;
             return;
         }
+        let ev_round = frame
+            .data
+            .as_ref()
+            .map_or(self.nodes[u].round, |dt| dt.round);
         if self.plan.drops(d, tick) {
             self.sim.dropped += 1;
+            self.obs_event(
+                EventKind::FrameDrop,
+                u as u32,
+                self.slot_owner[d],
+                ev_round,
+                tick,
+            );
             return;
         }
+        self.obs_event(
+            EventKind::FrameSend,
+            u as u32,
+            self.slot_owner[d],
+            ev_round,
+            tick,
+        );
         let window = self.calendar.len();
         let at = (tick + 1 + self.plan.delay(d, tick, 0)) as usize % window;
         self.in_flight += 1;
         if self.plan.duplicates(d, tick) {
             self.sim.duplicated += 1;
+            self.obs_event(
+                EventKind::FrameDup,
+                u as u32,
+                self.slot_owner[d],
+                ev_round,
+                tick,
+            );
             let at2 = (tick + 1 + self.plan.delay(d, tick, 1)) as usize % window;
             let mut copy = frame.clone();
             self.maybe_corrupt(&mut copy, d, tick, 1);
@@ -1079,8 +1201,10 @@ impl<'a, A: Algorithm> Machine<'a, A> {
     ) -> Result<(Vec<A::Output>, PhaseMetrics), CongestError> {
         let spec = self.spec;
         let algo = self.algo;
+        let obs = spec.obs;
         let n = spec.n;
         // Boot every node at virtual round 0.
+        let span = obs::cc_begin(obs);
         for (v, input) in inputs.into_iter().enumerate() {
             let ctx = spec.ctx(v, 0);
             let (state, outbox) = algo.boot(&ctx, input);
@@ -1097,6 +1221,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             self.refresh_safety(v);
             self.ready.push(v as u32);
         }
+        obs::cc_end(obs, span, CostCenter::Boot);
         // Boot is round 0 for everyone, so after the loop every round-0
         // error has been observed: the minimum-node one wins, as under
         // the serial boot sweep.
@@ -1132,6 +1257,8 @@ impl<'a, A: Algorithm> Machine<'a, A> {
         let mut idle_ticks = 0u64;
         let mut tick = 0u64;
         loop {
+            self.cur_tick = tick;
+            let span = obs::cc_begin(obs);
             let before = (
                 self.sim.data_frames,
                 self.sim.ctrl_frames,
@@ -1150,6 +1277,8 @@ impl<'a, A: Algorithm> Machine<'a, A> {
             self.in_flight -= arrivals.len();
             arrivals.sort_by_key(|&(d, _)| d);
             let had_arrivals = !arrivals.is_empty();
+            obs::cc_end(obs, span, CostCenter::Bookkeeping);
+            let span = obs::cc_begin(obs);
             for (d, frame) in arrivals {
                 // Transport checksum first: a frame the adversary
                 // bit-flipped is discarded whole — it earns no ack, no
@@ -1157,6 +1286,13 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 // imposter frame must not vouch for a dead sender).
                 if frame.crc != frame_checksum(self.phase_salt, &frame) {
                     self.sim.corrupted += 1;
+                    self.obs_event(
+                        EventKind::FrameCorrupt,
+                        self.slot_owner[d],
+                        self.sender(d) as u32,
+                        self.max_round,
+                        tick,
+                    );
                     continue;
                 }
                 if self.detect {
@@ -1167,26 +1303,47 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                         // gossip suspended by the suspicion resumes on
                         // its timers).
                         self.suspected[d] = false;
+                        self.obs_event(
+                            EventKind::Clear,
+                            self.slot_owner[d],
+                            self.sender(d) as u32,
+                            self.max_round,
+                            tick,
+                        );
                         let out = self.rev(d);
                         self.activate(out);
                     }
                 }
                 self.process_arrival(d, frame);
             }
+            obs::cc_end(obs, span, CostCenter::AckBookkeeping);
             // 2. Execute every virtual round the α rule now allows
             //    (gated to rounds ≤ the earliest error round once an
             //    error is recorded, so slower regions surface any
             //    earlier-round error before the phase returns).
+            let span = obs::cc_begin(obs);
             self.advance_ready();
+            obs::cc_end(obs, span, CostCenter::Execute);
             // 3. Transmit on due edges; in crash mode, keep idle
-            //    channels warm and run the failure detector.
+            //    channels warm and run the failure detector. The scan
+            //    span is reported net of the retransmissions nested in
+            //    it (see [`Machine::transmit`]).
+            self.retrans_ns = 0;
+            let span = obs::cc_begin(obs);
             self.transmit(tick);
+            obs::cc_end_split(obs, span, CostCenter::ChannelScan, self.retrans_ns);
             if self.detect {
+                let span = obs::cc_begin(obs);
                 self.send_keepalives(tick);
-                if let Some(e) = self.detect_failures(tick) {
+                obs::cc_end(obs, span, CostCenter::SafetyGossip);
+                let span = obs::cc_begin(obs);
+                let verdict = self.detect_failures(tick);
+                obs::cc_end(obs, span, CostCenter::Detector);
+                if let Some(e) = verdict {
                     return Err(e);
                 }
             }
+            let span = obs::cc_begin(obs);
             // 4. Error wind-down: once every node still running has
             //    executed through the earliest error round, no
             //    earlier-(round, node) error can exist — return the
@@ -1258,7 +1415,9 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                     }
                 });
             }
+            obs::cc_end(obs, span, CostCenter::Bookkeeping);
         }
+        let span = obs::cc_begin(obs);
         self.metrics.rounds = self.max_round;
         self.metrics.max_edge_load_bits =
             self.edge_load.iter().copied().max().unwrap_or(0) as usize;
@@ -1283,6 +1442,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                 })?;
             outputs.push(out);
         }
+        obs::cc_end(obs, span, CostCenter::Finish);
         Ok((outputs, self.metrics))
     }
 }

@@ -78,6 +78,16 @@ impl ExactConfig {
             ..self
         }
     }
+
+    /// This config with an observability sink attached to its network.
+    /// Every network the pipeline spawns clones the config, so the one
+    /// sink sees the whole session (see `congest::obs`).
+    pub fn with_obs(self, handle: congest::ObsHandle) -> Self {
+        ExactConfig {
+            network: self.network.with_obs(handle),
+            ..self
+        }
+    }
 }
 
 /// Result of a distributed minimum-cut run.
@@ -1918,6 +1928,7 @@ fn drive_packing(
     // rest re-run their cut stage on the restored structure (the MST
     // stages, the expensive part, are skipped either way).
     if let Some(spec) = resume {
+        pl.net.obs_emit("recover.resume", spec.trees.len() as u64);
         let mut snap: Option<Vec<Option<u32>>> = None;
         for (edges, cut) in &spec.trees {
             let parents = reroot(n, edges, pl.leader.raw());
@@ -1957,6 +1968,7 @@ fn drive_packing(
             }
             if let Some(log) = log.as_deref_mut() {
                 log.trees.push((parents, (minc, argmin.raw())));
+                pl.net.obs_emit("recover.checkpoint", packed as u64);
             }
         }
         if let Some(parents) = &snap {
@@ -1993,6 +2005,7 @@ fn drive_packing(
         pl.finish_tree(improved)?;
         if let Some(log) = log.as_deref_mut() {
             log.trees.push((pl.tree_parents(), (minc, argmin.raw())));
+            pl.net.obs_emit("recover.checkpoint", packed as u64);
         }
     }
     let side = pl.side(best_node, singleton)?;

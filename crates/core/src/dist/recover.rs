@@ -182,6 +182,16 @@ impl RecoverConfig {
     pub fn with_checkpoint(self, checkpoint: bool) -> Self {
         RecoverConfig { checkpoint, ..self }
     }
+
+    /// This config with an observability sink attached to its base
+    /// network — and therefore to every attempt, census, and join
+    /// network the driver spawns (they all clone the base config).
+    pub fn with_obs(self, handle: congest::ObsHandle) -> Self {
+        RecoverConfig {
+            base: self.base.with_obs(handle),
+            ..self
+        }
+    }
 }
 
 /// Result of a self-healing run: the minimum cut of the surviving
@@ -558,6 +568,7 @@ pub fn recover_mincut(
                 .run(&name, &detector, vec![(); cur.node_count()])?
                 .outputs;
             let pass_rounds = net.ledger().total_rounds();
+            net.obs_emit("census.pass", pass as u64);
             for p in net.ledger().phases() {
                 merged.push(p.clone());
             }
@@ -702,6 +713,7 @@ pub fn recover_mincut(
             let name = format!("census.e{epoch}.join");
             let outs = net.run(&name, &JoinEcho::new(nn as u64), inputs)?.outputs;
             let join_rounds = net.ledger().total_rounds();
+            net.obs_emit("census.join", rejoining.len() as u64);
             for p in net.ledger().phases() {
                 merged.push(p.clone());
             }
